@@ -1,0 +1,25 @@
+PYTHON ?= python
+
+.PHONY: install test bench tables demo examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+tables:
+	$(PYTHON) -m repro.bench
+
+demo:
+	$(PYTHON) -m repro
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null && echo OK || echo FAILED; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each benchmark file regenerates one table/figure of the paper's
+evaluation: it runs the experiment driver in virtual time, prints the
+paper-style table (run pytest with ``-s`` to see them inline; they are
+also echoed at session end), asserts the expected shape, and times the
+driver under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def record_report(text: str) -> None:
+    """Collect a rendered table for the end-of-session dump."""
+    _REPORTS.append(text)
+    print("\n" + text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables & figures")
+    for report in _REPORTS:
+        terminalreporter.write_line("")
+        for line in report.splitlines():
+            terminalreporter.write_line(line)

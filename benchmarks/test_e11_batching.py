@@ -1,0 +1,38 @@
+"""E11 — batched draining of the queued log on reconnection.
+
+The paper motivates channel-use optimization for intermittent links;
+its prototype drains one QRPC per exchange.  This ablation batches
+several queued requests into one wire exchange.  Shape asserted: on the
+100 ms-RTT modem the drain time falls as batch size grows (round trips
+amortized) while the number of exchanges drops to ~n/batch.
+"""
+
+from benchmarks.conftest import record_report
+from repro.bench.experiments import run_e11_batching
+from repro.bench.tables import format_seconds, format_table
+
+
+def test_e11_batching(benchmark):
+    rows = benchmark.pedantic(run_e11_batching, rounds=1, iterations=1)
+    record_report(
+        format_table(
+            "E11 - drain 12 queued imports on reconnect (cslip-14.4)",
+            ["batch size", "drain time", "wire exchanges", "batches"],
+            [
+                [
+                    "none" if r["batch_max"] == 1 else r["batch_max"],
+                    format_seconds(r["drain_time_s"]),
+                    r["exchanges"],
+                    r["batches"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    unbatched, mid, full = rows
+    # Fewer exchanges...
+    assert full["exchanges"] < mid["exchanges"] < unbatched["exchanges"]
+    # ...and a faster drain, monotonically.
+    assert full["drain_time_s"] < mid["drain_time_s"] < unbatched["drain_time_s"]
+    # The fully-batched drain is one exchange.
+    assert full["exchanges"] == 1

@@ -1,0 +1,102 @@
+"""Real-time microbenchmarks of the toolkit's hot primitives.
+
+Unlike E1-E11 (virtual-time reproductions of the paper's tables), these
+measure the *implementation's* wall-clock performance: marshalling,
+stable-log appends, cache operations, safe-interpreter invocations, and
+raw simulator event throughput.  Useful for keeping the simulator fast
+enough that the paper-scale experiments stay interactive.
+"""
+
+import pytest
+
+from repro.core.interpreter import SafeInterpreter
+from repro.core.naming import URN
+from repro.core.object_cache import ObjectCache
+from repro.core.rdo import RDO
+from repro.net.message import marshal, unmarshal
+from repro.sim import Simulator
+from repro.storage.stable_log import MemoryLogBackend, StableLog
+
+SAMPLE = {
+    "id": "client/123",
+    "op": "export",
+    "urn": "urn:rover:server/mail/inbox/msg-0042",
+    "args": {
+        "data": {"flags": {"read": True, "deleted": False}, "body": "x" * 512},
+        "base_version": 17,
+    },
+    "priority": 1,
+}
+
+
+def test_marshal_roundtrip_speed(benchmark):
+    def roundtrip():
+        return unmarshal(marshal(SAMPLE))
+
+    result = benchmark(roundtrip)
+    assert result == SAMPLE
+
+
+def test_stable_log_append_flush_speed(benchmark):
+    log = StableLog(MemoryLogBackend())
+    payload = marshal(SAMPLE)
+
+    def append_flush():
+        log.append(payload)
+        log.flush()
+
+    benchmark(append_flush)
+    assert log.appends > 0
+
+
+def test_cache_insert_lookup_speed(benchmark):
+    cache = ObjectCache(capacity_bytes=64 * 1024 * 1024)
+    rdos = [
+        RDO(URN("s", f"obj{i}"), "blob", {"body": "x" * 256}) for i in range(64)
+    ]
+    counter = {"i": 0}
+
+    def churn():
+        i = counter["i"] % 64
+        counter["i"] += 1
+        cache.insert(rdos[i])
+        return cache.lookup(f"urn:rover:s/obj{i}")
+
+    entry = benchmark(churn)
+    assert entry is not None
+
+
+def test_interpreter_invoke_speed(benchmark):
+    interp = SafeInterpreter()
+    functions = interp.load(
+        "def tally(state, items):\n"
+        "    total = 0\n"
+        "    for item in items:\n"
+        "        total = total + item\n"
+        "    state['total'] = total\n"
+        "    return total\n"
+    )
+    state = {"total": 0}
+    items = list(range(50))
+
+    def invoke():
+        return interp.invoke(functions, "tally", state, items)
+
+    assert benchmark(invoke) == sum(items)
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run_10k_events) == 10_000

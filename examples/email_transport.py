@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""QRPC over e-mail: endpoints that are never online at the same time.
+
+"SMTP allows Rover to exploit E-mail for queued communication."  Here
+the laptop and its home server share *no* working direct link — the
+laptop only ever reaches the mail relay (evenings), and the server only
+polls the relay during business hours.  A QRPC still completes: request
+mail spools at the relay, forwards to the server when its link opens,
+executes, and the reply mail rides the same path back.
+
+Run:  python examples/email_transport.py
+"""
+
+from repro import URN, RDO, MethodSpec, RDOInterface, build_testbed
+from repro.core.notification import EventType
+from repro.net.link import CSLIP_14_4, AlwaysDown, PeriodicSchedule
+
+CODE = '''
+def lookup_price(state, part):
+    return state["prices"].get(part, -1)
+'''
+
+INTERFACE = RDOInterface([MethodSpec("lookup_price")])
+
+
+def main() -> None:
+    hour = 60.0 * 60.0
+    bed = build_testbed(
+        link_spec=CSLIP_14_4,
+        policy=AlwaysDown(),              # the direct link never works
+        with_relay=True,
+        relay_link_spec=CSLIP_14_4,
+        # Laptop reaches the relay in the evening (hours 0-2 of the cycle);
+        # the server polls the relay during "business hours" (2-6).
+        relay_client_policy=PeriodicSchedule(up_duration=2 * hour, down_duration=10 * hour),
+        relay_server_policy=PeriodicSchedule(
+            up_duration=4 * hour, down_duration=8 * hour, phase=2 * hour, start_up=True
+        ),
+    )
+    bed.server.put_object(
+        RDO(
+            URN("server", "catalog/prices"),
+            "catalog",
+            {"prices": {"widget": 19, "sprocket": 7}},
+            code=CODE,
+            interface=INTERFACE,
+        )
+    )
+
+    log = []
+    bed.access.notifications.subscribe_all(
+        lambda n: log.append((n.time, n.event.value, n.details))
+    )
+
+    promise = bed.access.invoke_remote("urn:rover:server/catalog/prices",
+                                       "lookup_price", ["widget"])
+    print(f"[t={bed.sim.now / hour:5.2f}h] queued price lookup (direct link is dead)")
+    price = promise.wait(bed.sim, timeout=48 * hour)
+    print(f"[t={bed.sim.now / hour:5.2f}h] reply arrived by mail: widget costs {price}")
+    bed.sim.run(until=bed.sim.now + hour)  # let the relay's acks settle
+
+    print(f"\nrelay statistics: accepted={bed.relay.accepted} "
+          f"forwarded={bed.relay.forwarded}")
+    print("toolkit event log:")
+    for t, event, details in log:
+        if event in ("request-queued", "request-sent", "response-arrived"):
+            print(f"  [t={t / hour:5.2f}h] {event} {details.get('operation', '')}")
+
+    assert price == 19
+    assert bed.relay.forwarded >= 2  # request mail + reply mail
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Hoarding and cache freshness: getting ready for the road.
+
+The paper: "An essential component to accomplishing useful work while
+disconnected is having the necessary information locally available."
+This example sets up a hoard profile ("my inbox, pinned, high priority;
+the intranet pages, background"), walks it while docked, survives an
+eviction storm (pinned entries stay), and shows the two freshness
+mechanisms — server invalidation callbacks while connected, and
+max-age polling after a disconnection made the client miss callbacks.
+
+Run:  python examples/hoarding.py
+"""
+
+from repro.apps.mail import MailServerApp
+from repro.apps.webproxy import WebServerApp
+from repro.core.hoard import Hoarder, HoardProfile
+from repro.core.notification import EventType
+from repro.net.link import WAVELAN_2M, IntervalTrace
+from repro.net.scheduler import Priority
+from repro import RDO, URN, MethodSpec, RDOInterface
+from repro.testbed import build_multi_client_testbed
+from repro.workloads import generate_mail_corpus, generate_site
+
+NOTE_CODE = '''
+def read(state):
+    return state["text"]
+
+def set_text(state, text):
+    state["text"] = text
+    return text
+'''
+
+NOTE_INTERFACE = RDOInterface(
+    [MethodSpec("read"), MethodSpec("set_text", mutates=True)]
+)
+
+
+def make_note(path: str, text: str = "all quiet") -> RDO:
+    return RDO(URN("server", path), "note", {"text": text},
+               code=NOTE_CODE, interface=NOTE_INTERFACE)
+
+
+def main() -> None:
+    # Two clients: ours (intermittent) and a co-worker (always on).
+    policies = [IntervalTrace([(0.0, 300.0), (2_000.0, 1e9)]), None]
+    bed = build_multi_client_testbed(2, link_spec=WAVELAN_2M, policies=policies)
+    me, coworker = bed.clients
+
+    corpus = generate_mail_corpus(seed=77, n_folders=1, messages_per_folder=6)
+    MailServerApp(bed.server, corpus)
+    site = generate_site(seed=77, n_pages=6)
+    WebServerApp(bed.server, site)
+    shared_note = make_note(path="notes/status")
+    bed.server.put_object(shared_note)
+
+    # --- the hoard profile -----------------------------------------------
+    profile = (
+        HoardProfile()
+        .add("urn:rover:server/mail/", priority=Priority.DEFAULT, pin=True)
+        .add("urn:rover:server/web/", priority=Priority.BACKGROUND)
+        .add("urn:rover:server/notes/", priority=Priority.DEFAULT, pin=True)
+    )
+    hoarder = Hoarder(me.access, "server", profile)
+    queued = hoarder.walk().wait(bed.sim)
+    me.access.drain(timeout=290)
+    print(f"[t={bed.sim.now:7.1f}s] hoard walk queued {queued} imports; "
+          f"cache now holds {len(me.access.cache)} objects")
+    pinned = sum(1 for entry in me.access.cache if entry.pinned)
+    print(f"[t={bed.sim.now:7.1f}s] pinned against eviction: {pinned}")
+
+    # --- invalidation callbacks while connected ----------------------------
+    me.access.subscribe_invalidations("server", "urn:rover:server/notes/").wait(bed.sim)
+    coworker.access.import_(shared_note.urn).wait(bed.sim)
+    coworker.access.invoke(str(shared_note.urn), "set_text", "meeting moved to 3pm")
+    bed.sim.run(until=bed.sim.now + 10)
+    invalidations = me.access.notifications.count(EventType.OBJECT_INVALIDATED)
+    print(f"[t={bed.sim.now:7.1f}s] coworker updated the note -> "
+          f"{invalidations} invalidation callback received; "
+          f"cached: {str(shared_note.urn) in me.access.cache}")
+    fresh = me.access.import_(shared_note.urn).wait(bed.sim)
+    print(f"[t={bed.sim.now:7.1f}s] re-import sees: {fresh.data['text']!r}")
+
+    # --- disconnected: callbacks are lost; polling closes the window -------
+    bed.sim.run(until=400)  # we are offline now
+    coworker.access.invoke(str(shared_note.urn), "set_text", "meeting cancelled")
+    bed.sim.run(until=500)
+    stale = me.access.cache.peek(str(shared_note.urn))
+    print(f"[t={bed.sim.now:7.1f}s] offline; stale cached copy says: "
+          f"{stale.rdo.data['text']!r}")
+
+    bed.sim.run(until=2_100)  # reconnected
+    polled = me.access.import_(shared_note.urn, max_age_s=60.0).wait(bed.sim)
+    print(f"[t={bed.sim.now:7.1f}s] back online; max-age poll fetched: "
+          f"{polled.data['text']!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — a reproduction of *Rover: A Toolkit for Mobile Information
+Access* (Joseph, deLespinasse, Tauber, Gifford, Kaashoek; SOSP 1995).
+
+The toolkit combines **relocatable dynamic objects** (RDOs — data plus
+code behind a well-defined interface, cacheable at the client or
+shipped to the server) with **queued remote procedure call** (QRPC —
+non-blocking RPC that is logged to stable storage and drained by a
+priority network scheduler whenever connectivity permits), so
+applications keep working across disconnection and slow links.
+
+Quick start::
+
+    from repro import build_testbed, URN, RDO, RDOInterface, MethodSpec
+    from repro.net import CSLIP_14_4
+
+    bed = build_testbed(link_spec=CSLIP_14_4)
+    urn = URN("server", "notes/today")
+    bed.server.put_object(RDO(urn, "note", {"text": "hello"}))
+
+    promise = bed.access.import_(urn)     # non-blocking QRPC
+    rdo = promise.wait(bed.sim)           # run simulation until it lands
+    print(rdo.data["text"])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    AccessManager,
+    AppendMerge,
+    CacheStatus,
+    ConflictReport,
+    EventType,
+    ExecutionCostModel,
+    FieldwiseMerge,
+    KeepServer,
+    LastWriterWins,
+    MethodSpec,
+    NotificationCenter,
+    ObjectCache,
+    Operation,
+    OperationLog,
+    Promise,
+    QRPCRequest,
+    RDO,
+    RDOInterface,
+    ResolverRegistry,
+    RoverServer,
+    SafeInterpreter,
+    Session,
+    URN,
+)
+from repro.net import (
+    CSLIP_14_4,
+    CSLIP_2_4,
+    ETHERNET_10M,
+    STANDARD_LINKS,
+    WAVELAN_2M,
+    NetworkScheduler,
+    Priority,
+)
+from repro.sim import Simulator
+from repro.testbed import Testbed, build_testbed
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccessManager",
+    "AppendMerge",
+    "CacheStatus",
+    "ConflictReport",
+    "CSLIP_14_4",
+    "CSLIP_2_4",
+    "ETHERNET_10M",
+    "EventType",
+    "ExecutionCostModel",
+    "FieldwiseMerge",
+    "KeepServer",
+    "LastWriterWins",
+    "MethodSpec",
+    "NetworkScheduler",
+    "NotificationCenter",
+    "ObjectCache",
+    "Operation",
+    "OperationLog",
+    "Priority",
+    "Promise",
+    "QRPCRequest",
+    "RDO",
+    "RDOInterface",
+    "ResolverRegistry",
+    "RoverServer",
+    "SafeInterpreter",
+    "Session",
+    "Simulator",
+    "STANDARD_LINKS",
+    "Testbed",
+    "URN",
+    "WAVELAN_2M",
+    "build_testbed",
+    "__version__",
+]

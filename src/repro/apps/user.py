@@ -1,0 +1,92 @@
+"""Scripted user models as simulated processes.
+
+The benchmark drivers step users with explicit ``sim.run(until=...)``
+calls; these generators express the same behaviour as sequential
+scripts for :meth:`repro.sim.Simulator.spawn` — closer to how one
+writes interactive scenarios, and reusable across experiments:
+
+* :func:`browse_session` — a reader who *waits for each page* before
+  thinking and clicking the next link (self-pacing, like a blocking
+  browser user, but served by the non-blocking proxy);
+* :func:`impatient_browse_session` — a click-ahead user who queues the
+  next click after think time whether or not the page has arrived;
+* :func:`mail_session` — open a folder, read every message with think
+  time between messages.
+
+Each returns (via ``process.result``) the artifacts it produced.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.mail import RoverMailReader
+from repro.apps.webproxy import ClickAheadProxy, PageView
+
+
+def browse_session(
+    proxy: ClickAheadProxy,
+    start_url: str,
+    n_clicks: int,
+    think_time_s: float = 30.0,
+) -> Generator:
+    """Self-pacing reader: wait for the page, read it, follow a link."""
+    views: list[PageView] = []
+    url = start_url
+    visited = {url}
+    for __ in range(n_clicks):
+        view = proxy.navigate(url)
+        views.append(view)
+        if view.promise is not None and not view.displayed:
+            yield view.promise
+        yield think_time_s
+        entry = proxy.access.cache.peek(
+            str(_page_urn(proxy, url))
+        )
+        links = entry.rdo.data.get("links", []) if entry is not None else []
+        next_urls = [u for u in links if u not in visited]
+        if not next_urls:
+            break
+        url = next_urls[0]
+        visited.add(url)
+    return views
+
+
+def impatient_browse_session(
+    proxy: ClickAheadProxy,
+    path: list[str],
+    think_time_s: float = 30.0,
+) -> Generator:
+    """Click-ahead user: clicks on schedule, never waits for arrivals."""
+    views = [proxy.navigate(path[0])]
+    for url in path[1:]:
+        yield think_time_s
+        views.append(proxy.navigate(url))
+    # Hang around until everything has displayed (or failed).
+    while not all(view.displayed or view.failed for view in views):
+        pending = [v.promise for v in views if not (v.displayed or v.failed)]
+        yield pending[0]
+    return views
+
+
+def mail_session(
+    reader: RoverMailReader,
+    folder: str,
+    think_time_s: float = 20.0,
+) -> Generator:
+    """Open a folder and read every message, oldest first."""
+    folder_promise = reader.open_folder(folder)
+    folder_rdo = yield folder_promise
+    read = []
+    for entry in folder_rdo.data["index"]:
+        message_promise = reader.read_message(folder, entry["id"])
+        message = yield message_promise
+        read.append(message.data["id"])
+        yield think_time_s
+    return read
+
+
+def _page_urn(proxy: ClickAheadProxy, url: str):
+    from repro.apps.webproxy import page_urn
+
+    return page_urn(proxy.authority, url)

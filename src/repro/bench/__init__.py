@@ -1,0 +1,14 @@
+"""Benchmark harness: experiment drivers and table rendering.
+
+Every table/figure of the paper's evaluation has a driver in
+:mod:`repro.bench.experiments` that builds the scenario, runs it in
+virtual time, and returns structured results.  The pytest-benchmark
+files under ``benchmarks/`` call these drivers, print the paper-style
+table, and assert the expected *shape* (orderings, ratios, crossovers).
+"""
+
+from repro.bench.tables import format_seconds, format_table
+from repro.bench.timeline import Timeline
+from repro.bench import experiments
+
+__all__ = ["Timeline", "experiments", "format_seconds", "format_table"]

@@ -1,0 +1,1054 @@
+"""Experiment drivers — one per table/figure of the evaluation.
+
+Each ``run_*`` function builds its scenario on the simulated testbed,
+runs it in virtual time, and returns a list of result rows (dicts).
+The benchmark files under ``benchmarks/`` print these as paper-style
+tables and assert the expected shape; EXPERIMENTS.md records the
+numbers next to the paper's claims.
+"""
+
+from __future__ import annotations
+
+from repro.apps.calendar import CalendarReplica, install_calendar
+from repro.apps.mail import BlockingMailReader, MailServerApp, RoverMailReader
+from repro.apps.webproxy import BlockingBrowser, ClickAheadProxy, WebServerApp
+from repro.core.naming import URN
+from repro.core.rdo import RDO, MethodSpec, RDOInterface
+from repro.net.link import (
+    CSLIP_2_4,
+    CSLIP_14_4,
+    ETHERNET_10M,
+    STANDARD_LINKS,
+    WAVELAN_2M,
+    IntervalTrace,
+    LinkSpec,
+)
+from repro.net.scheduler import Priority
+from repro.net.transport import RpcError
+from repro.storage.stable_log import FlushModel
+from repro.testbed import build_multi_client_testbed, build_testbed
+from repro.workloads import generate_calendar_ops, generate_mail_corpus, generate_site
+
+NULL_CODE = '''
+def ping(state):
+    return None
+
+def read_value(state):
+    return state["value"]
+'''
+
+NULL_INTERFACE = RDOInterface([MethodSpec("ping"), MethodSpec("read_value")])
+
+
+def _null_object(authority: str = "server") -> RDO:
+    return RDO(
+        URN(authority, "bench/null"),
+        "bench-null",
+        {"value": 0},
+        code=NULL_CODE,
+        interface=NULL_INTERFACE,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E1 — null-QRPC latency per network
+# ---------------------------------------------------------------------------
+
+
+def run_e1_qrpc_latency(links: tuple[LinkSpec, ...] = STANDARD_LINKS) -> list[dict]:
+    """Null QRPC vs blocking null RPC on each of the paper's links."""
+    rows = []
+    for spec in links:
+        # Blocking RPC baseline: no log, no queue.
+        bed = build_testbed(link_spec=spec)
+        bed.server.put_object(_null_object())
+        start = bed.sim.now
+        bed.client_transport.call_blocking(
+            bed.server_host,
+            "rover.invoke",
+            {"urn": "urn:rover:server/bench/null", "method": "ping", "args": []},
+        )
+        rpc_time = bed.sim.now - start
+
+        # QRPC: logged, flushed, queued, scheduled.
+        bed2 = build_testbed(link_spec=spec)
+        bed2.server.put_object(_null_object())
+        start = bed2.sim.now
+        promise = bed2.access.invoke_remote("urn:rover:server/bench/null", "ping")
+        promise.wait(bed2.sim)
+        qrpc_time = bed2.sim.now - start
+
+        rows.append(
+            {
+                "link": spec.name,
+                "rpc_s": rpc_time,
+                "qrpc_s": qrpc_time,
+                "overhead_s": qrpc_time - rpc_time,
+                "overhead_pct": 100.0 * (qrpc_time - rpc_time) / qrpc_time,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E2 — stable-log flush overhead on the critical path
+# ---------------------------------------------------------------------------
+
+
+def run_e2_log_overhead(links: tuple[LinkSpec, ...] = STANDARD_LINKS) -> list[dict]:
+    """End-to-end QRPC time with the flush enabled vs disabled."""
+    rows = []
+    for spec in links:
+        times = {}
+        for label, model in (("flush", None), ("no_flush", FlushModel.free())):
+            bed = build_testbed(link_spec=spec, flush_model=model)
+            bed.server.put_object(_null_object())
+            start = bed.sim.now
+            promise = bed.access.invoke_remote("urn:rover:server/bench/null", "ping")
+            promise.wait(bed.sim)
+            times[label] = bed.sim.now - start
+            if label == "flush":
+                flush_cost = bed.access.flush_seconds_total
+        rows.append(
+            {
+                "link": spec.name,
+                "qrpc_with_flush_s": times["flush"],
+                "qrpc_without_flush_s": times["no_flush"],
+                "flush_cost_s": flush_cost,
+                "flush_fraction_pct": 100.0 * (times["flush"] - times["no_flush"]) / times["flush"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E2b — group-commit ablation
+# ---------------------------------------------------------------------------
+
+
+def run_e2b_group_commit(
+    n_requests: int = 10,
+    windows: tuple[float, ...] = (0.0, 0.02, 0.1),
+) -> list[dict]:
+    """Ablation the paper *names* but does not build: group commit.
+
+    A burst of QRPCs on the fast LAN, where E2 shows the per-request
+    flush dominating.  Group commit amortizes one flush across the
+    burst at the cost of a wider crash-loss window.
+    """
+    rows = []
+    for window in windows:
+        bed = build_testbed(link_spec=ETHERNET_10M)
+        bed.access.group_commit_s = window
+        for index in range(n_requests):
+            bed.server.put_object(
+                RDO(URN("server", f"bench/gc/{index:02d}"), "blob", {"n": index})
+            )
+        start = bed.sim.now
+        promises = [
+            bed.access.import_(f"urn:rover:server/bench/gc/{index:02d}")
+            for index in range(n_requests)
+        ]
+        bed.sim.run_until(lambda: all(p.is_done for p in promises), timeout=1e6)
+        rows.append(
+            {
+                "window_s": window,
+                "burst_completion_s": bed.sim.now - start,
+                "flushes": bed.access.log.stable.flushes,
+                "flush_seconds": bed.access.flush_seconds_total,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E3 — cached-RDO local invocation vs RPC (the paper's 56x claim)
+# ---------------------------------------------------------------------------
+
+
+def run_e3_local_vs_rpc(links: tuple[LinkSpec, ...] = STANDARD_LINKS) -> list[dict]:
+    """Invoke a small method on the cached copy vs the same via RPC."""
+    rows = []
+    for spec in links:
+        bed = build_testbed(link_spec=spec)
+        bed.server.put_object(_null_object())
+        bed.access.import_("urn:rover:server/bench/null").wait(bed.sim)
+
+        __, local_time = bed.access.invoke("urn:rover:server/bench/null", "read_value")
+
+        start = bed.sim.now
+        bed.client_transport.call_blocking(
+            bed.server_host,
+            "rover.invoke",
+            {"urn": "urn:rover:server/bench/null", "method": "read_value", "args": []},
+        )
+        rpc_time = bed.sim.now - start
+        rows.append(
+            {
+                "link": spec.name,
+                "local_invoke_s": local_time,
+                "rpc_s": rpc_time,
+                "speedup": rpc_time / local_time,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E4 — RDO migration: N round trips vs one shipped RDO
+# ---------------------------------------------------------------------------
+
+
+def run_e4_migration(
+    links: tuple[LinkSpec, ...] = (ETHERNET_10M, CSLIP_14_4),
+    counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> list[dict]:
+    """A task needing N server-side lookups: N QRPCs vs 1 shipped RDO."""
+    rows = []
+    for spec in links:
+        for n in counts:
+            bed = build_testbed(link_spec=spec)
+            for index in range(n):
+                bed.server.put_object(
+                    RDO(
+                        URN("server", f"bench/items/{index:03d}"),
+                        "bench-item",
+                        {"value": index},
+                        code=NULL_CODE.replace('state["value"]', 'state["value"]'),
+                        interface=NULL_INTERFACE,
+                    )
+                )
+            # Per-operation QRPCs (sequential, as an app loop would be).
+            start = bed.sim.now
+            total = 0
+            for index in range(n):
+                promise = bed.access.invoke_remote(
+                    f"urn:rover:server/bench/items/{index:03d}", "read_value"
+                )
+                total += promise.wait(bed.sim)
+            per_op_time = bed.sim.now - start
+            assert total == sum(range(n))
+
+            # One shipped RDO doing the loop server-side.
+            bed2 = build_testbed(link_spec=spec)
+            for index in range(n):
+                bed2.server.put_object(
+                    RDO(
+                        URN("server", f"bench/items/{index:03d}"),
+                        "bench-item",
+                        {"value": index},
+                    )
+                )
+            code = (
+                "def main(prefix):\n"
+                "    total = 0\n"
+                "    for key in objects(prefix):\n"
+                "        total = total + lookup(key)['value']\n"
+                "    return total\n"
+            )
+            start = bed2.sim.now
+            promise = bed2.access.ship(
+                "server", code, args=["urn:rover:server/bench/items/"]
+            )
+            shipped_total = promise.wait(bed2.sim)
+            ship_time = bed2.sim.now - start
+            assert shipped_total == sum(range(n))
+
+            rows.append(
+                {
+                    "link": spec.name,
+                    "n_ops": n,
+                    "per_op_qrpc_s": per_op_time,
+                    "shipped_rdo_s": ship_time,
+                    "speedup": per_op_time / ship_time,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E5 — mail reader performance
+# ---------------------------------------------------------------------------
+
+
+def run_e5_mail(
+    links: tuple[LinkSpec, ...] = STANDARD_LINKS,
+    n_messages: int = 12,
+    seed: int = 42,
+) -> list[dict]:
+    """Scan a folder and read every message: Rover cold, Rover after
+    prefetch, and the conventional blocking reader, per link."""
+    rows = []
+    for spec in links:
+        corpus = generate_mail_corpus(
+            seed=seed, n_folders=1, messages_per_folder=n_messages
+        )
+        ids = [m.msg_id for m in corpus.folders["inbox"]]
+
+        # Rover, cold cache: queue all reads at once (click-ahead style).
+        bed = build_testbed(link_spec=spec)
+        MailServerApp(bed.server, corpus)
+        reader = RoverMailReader(bed.access, bed.authority)
+        start = bed.sim.now
+        reader.open_folder("inbox").wait(bed.sim)
+        promises = [reader.read_message("inbox", msg_id) for msg_id in ids]
+        bed.sim.run_until(lambda: all(p.is_done for p in promises), timeout=1e7)
+        rover_cold = bed.sim.now - start
+
+        # Rover after prefetch: user-visible read latency is cache-hit
+        # plus the local interpreter cost of rendering/marking each
+        # message (cache hits do not advance the network clock).
+        bed2 = build_testbed(link_spec=spec)
+        MailServerApp(bed2.server, corpus)
+        reader2 = RoverMailReader(bed2.access, bed2.authority)
+        reader2.prefetch_folder("inbox").wait(bed2.sim)
+        bed2.access.drain(timeout=1e7)
+        start = bed2.sim.now
+        local_cost_start = bed2.access.local_invoke_seconds_total
+        promises = [reader2.read_message("inbox", msg_id) for msg_id in ids]
+        bed2.sim.run_until(lambda: all(p.is_done for p in promises), timeout=1e7)
+        rover_warm = (bed2.sim.now - start) + (
+            bed2.access.local_invoke_seconds_total - local_cost_start
+        )
+
+        # Conventional blocking reader.
+        bed3 = build_testbed(link_spec=spec)
+        MailServerApp(bed3.server, corpus)
+        blocking = BlockingMailReader(
+            bed3.client_transport, bed3.server_host, bed3.authority
+        )
+        start = bed3.sim.now
+        blocking.folder_index("inbox")
+        for msg_id in ids:
+            blocking.read_message("inbox", msg_id)
+        blocking_time = bed3.sim.now - start
+
+        rows.append(
+            {
+                "link": spec.name,
+                "rover_cold_s": rover_cold,
+                "rover_prefetched_s": rover_warm,
+                "blocking_s": blocking_time,
+                "warm_speedup_vs_blocking": blocking_time / rover_warm,
+            }
+        )
+    return rows
+
+
+def run_e5_disconnected_mail(seed: int = 42, n_messages: int = 8) -> dict:
+    """Disconnected-operation companion: Rover keeps working, the
+    blocking reader dies."""
+    corpus = generate_mail_corpus(seed=seed, n_folders=1, messages_per_folder=n_messages)
+    ids = [m.msg_id for m in corpus.folders["inbox"]]
+
+    bed = build_testbed(
+        link_spec=CSLIP_14_4,
+        policy=IntervalTrace([(0.0, 2_000.0), (50_000.0, 1e9)]),
+    )
+    MailServerApp(bed.server, corpus)
+    reader = RoverMailReader(bed.access, bed.authority)
+    reader.prefetch_folder("inbox").wait(bed.sim)
+    bed.access.drain(timeout=1_900)
+    bed.sim.run(until=3_000)  # disconnected now
+
+    start = bed.sim.now
+    local_cost_start = bed.access.local_invoke_seconds_total
+    reads_ok = 0
+    for msg_id in ids:
+        promise = reader.read_message("inbox", msg_id)
+        bed.sim.run_until(lambda: promise.is_done, timeout=5.0)
+        if promise.ready:
+            reads_ok += 1
+    rover_disconnected_time = (bed.sim.now - start) + (
+        bed.access.local_invoke_seconds_total - local_cost_start
+    )
+
+    blocking = BlockingMailReader(bed.client_transport, bed.server_host, bed.authority)
+    blocking_failed = False
+    try:
+        blocking.folder_index("inbox")
+    except RpcError:
+        blocking_failed = True
+
+    bed.sim.run(until=60_000)  # reconnect; queued flag updates drain
+    flags_committed = sum(
+        1
+        for msg_id in ids
+        if bed.server.get_object(str(reader.message_urn("inbox", msg_id))).data[
+            "flags"
+        ]["read"]
+    )
+    return {
+        "rover_reads_while_disconnected": reads_ok,
+        "rover_disconnected_read_time_s": rover_disconnected_time,
+        "blocking_reader_failed": blocking_failed,
+        "flag_updates_committed_after_reconnect": flags_committed,
+        "n_messages": n_messages,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E6 — calendar conflicts
+# ---------------------------------------------------------------------------
+
+
+def run_e6_calendar(
+    n_ops: int = 15,
+    seed: int = 7,
+    resolver: str = "calendar",
+) -> dict:
+    """Two disconnected replicas make overlapping updates; reconcile.
+
+    ``resolver``: 'calendar' (type-specific with auto re-slot),
+    'calendar-strict' (type-specific, no re-slot), or 'keep-server'
+    (no type-specific resolution at all).
+    """
+    policies = [
+        IntervalTrace([(0.0, 10.0), (1_000.0, 1e9)]),
+        IntervalTrace([(0.0, 10.0), (1_500.0, 1e9)]),
+    ]
+    bed = build_multi_client_testbed(2, link_spec=WAVELAN_2M, policies=policies)
+    if resolver == "keep-server":
+        urn, merge = install_calendar(bed.server)
+        # Unregister the type-specific resolver: fall back to default.
+        bed.server.resolvers._resolvers.pop("calendar", None)
+    else:
+        urn, merge = install_calendar(
+            bed.server, auto_reslot=(resolver == "calendar")
+        )
+    replicas = [CalendarReplica(client.access, urn) for client in bed.clients]
+    for replica in replicas:
+        replica.checkout().wait(bed.sim)
+    bed.sim.run(until=20)  # both disconnected
+
+    # One room and a small hot slot range: disconnected replicas are
+    # very likely to double-book, which is what E6 is probing.
+    ops = [
+        generate_calendar_ops(
+            seed=seed,
+            replica=label,
+            n_ops=n_ops,
+            n_rooms=1,
+            n_slots=20,
+            hot_fraction=0.6,
+        )
+        for label in ("A", "B")
+    ]
+    applied = 0
+    for replica, replica_ops in zip(replicas, ops):
+        for op in replica_ops:
+            replica.apply_op(op)
+            applied += 1
+
+    bed.sim.run(until=30_000)
+    server_events = bed.server.get_object(str(urn)).data["events"]
+    conflicts = sum(len(replica.conflicts) for replica in replicas)
+    return {
+        "resolver": resolver,
+        "ops_applied": applied,
+        "server_events": len(server_events),
+        "exports_committed": bed.server.exports_committed,
+        "exports_resolved": bed.server.exports_resolved,
+        "exports_conflicted": bed.server.exports_conflicted,
+        "manual_conflicts_reported": conflicts,
+        "auto_reslotted": getattr(merge, "reslotted", 0),
+        "replicas_clean": all(not replica.tentative for replica in replicas),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E7 — web click-ahead
+# ---------------------------------------------------------------------------
+
+
+def run_e7_clickahead(
+    links: tuple[LinkSpec, ...] = (CSLIP_14_4, CSLIP_2_4),
+    n_clicks: int = 6,
+    think_time_s: float = 30.0,
+    seed: int = 7,
+) -> list[dict]:
+    """A user reading a site with think time between clicks.
+
+    Blocking browser: think, fetch (blocked), think, fetch...
+    Rover proxy: clicks go into the queue immediately (click-ahead);
+    transfers overlap the think time.  With prefetch, linked pages are
+    warmed in the background.
+    """
+    rows = []
+    for spec in links:
+        site = generate_site(seed=seed, n_pages=n_clicks * 3)
+        path = _walk(site, n_clicks)
+
+        # Blocking browser.
+        bed = build_testbed(link_spec=spec)
+        WebServerApp(bed.server, site)
+        browser = BlockingBrowser(bed.client_transport, bed.server_host, bed.authority)
+        start = bed.sim.now
+        for url in path:
+            browser.navigate(url)
+            bed.sim.run(until=bed.sim.now + think_time_s)
+        blocking_session = bed.sim.now - start
+        # The conventional browser blocks the user until the page is
+        # fully rendered (HTML + inline images).
+        blocking_wait = sum(
+            (v.full_latency if v.full_latency is not None else v.latency) or 0.0
+            for v in browser.views
+        )
+
+        results = {}
+        for mode, prefetch in (("clickahead", False), ("clickahead+prefetch", True)):
+            bed2 = build_testbed(link_spec=spec)
+            WebServerApp(bed2.server, site)
+            proxy = ClickAheadProxy(
+                bed2.access,
+                bed2.authority,
+                prefetch_links=prefetch,
+                prefetch_delay_threshold_s=0.5,
+            )
+            start = bed2.sim.now
+            views = []
+            for url in path:
+                views.append(proxy.navigate(url))
+                bed2.sim.run(until=bed2.sim.now + think_time_s)
+            bed2.sim.run_until(
+                lambda: all(v.displayed or v.failed for v in views), timeout=1e7
+            )
+            session = bed2.sim.now - start
+            # User-visible wait: click-to-display latency per page.
+            waits = [v.latency or 0.0 for v in views]
+            results[mode] = {
+                "session": session,
+                "wait": sum(waits),
+                "prefetches": proxy.prefetches_issued,
+            }
+
+        rows.append(
+            {
+                "link": spec.name,
+                "blocking_session_s": blocking_session,
+                "blocking_user_wait_s": blocking_wait,
+                "clickahead_session_s": results["clickahead"]["session"],
+                "clickahead_user_wait_s": results["clickahead"]["wait"],
+                "prefetch_session_s": results["clickahead+prefetch"]["session"],
+                "prefetch_user_wait_s": results["clickahead+prefetch"]["wait"],
+                "prefetches_issued": results["clickahead+prefetch"]["prefetches"],
+            }
+        )
+    return rows
+
+
+def _walk(site, n_clicks: int) -> list[str]:
+    """A deterministic browse path following first links from the root."""
+    path = [site.root]
+    current = site.root
+    visited = {current}
+    while len(path) < n_clicks:
+        links = [u for u in site.pages[current].links if u not in visited]
+        if not links:
+            remaining = [u for u in site.pages if u not in visited]
+            if not remaining:
+                break
+            links = remaining
+        current = links[0]
+        visited.add(current)
+        path.append(current)
+    return path
+
+
+def run_e7_threshold_sweep(
+    thresholds: tuple[float, ...] = (0.0, 0.5, 2.0, 10.0, 1e9),
+    seed: int = 7,
+    think_time_s: float = 30.0,
+) -> list[dict]:
+    """Ablation: prefetch threshold vs wasted bytes and user wait."""
+    rows = []
+    for threshold in thresholds:
+        site = generate_site(seed=seed, n_pages=18)
+        path = _walk(site, 5)
+        bed = build_testbed(link_spec=CSLIP_14_4)
+        WebServerApp(bed.server, site)
+        proxy = ClickAheadProxy(
+            bed.access,
+            bed.authority,
+            prefetch_links=True,
+            prefetch_delay_threshold_s=threshold,
+        )
+        views = []
+        for url in path:
+            views.append(proxy.navigate(url))
+            bed.sim.run(until=bed.sim.now + think_time_s)
+        bed.sim.run_until(lambda: all(v.displayed for v in views), timeout=1e7)
+        bed.access.drain(timeout=1e7)
+        waits = [v.latency or 0.0 for v in views]
+        rows.append(
+            {
+                "threshold_s": threshold,
+                "user_wait_s": sum(waits),
+                "prefetches": proxy.prefetches_issued,
+                "bytes_on_wire": bed.link.bytes_carried,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E8 — network scheduler: priority + relay fallback
+# ---------------------------------------------------------------------------
+
+
+def run_e8_priority(fifo_only: bool = False, n_bulk: int = 12) -> dict:
+    """Foreground requests compete with queued bulk transfers."""
+    bed = build_testbed(
+        link_spec=CSLIP_14_4,
+        policy=IntervalTrace([(50.0, 1e9)]),  # everything queues first
+        fifo_only=fifo_only,
+        max_inflight=1,
+    )
+    bed.server.put_object(_null_object())
+    for index in range(n_bulk):
+        bed.server.put_object(
+            RDO(
+                URN("server", f"bench/bulk/{index:02d}"),
+                "bulk",
+                {"body": "x" * 4096},
+            )
+        )
+    done_times: dict[str, float] = {}
+    for index in range(n_bulk):
+        urn = f"urn:rover:server/bench/bulk/{index:02d}"
+        bed.access.import_(urn, priority=Priority.BACKGROUND).then(
+            lambda rdo, u=urn: done_times.__setitem__(u, bed.sim.now)
+        )
+    bed.sim.run(until=20.0)
+    # The user clicks something urgent while the bulk queue is parked.
+    urgent = bed.access.invoke_remote(
+        "urn:rover:server/bench/null", "ping", priority=Priority.FOREGROUND
+    )
+    urgent.then(lambda value: done_times.__setitem__("urgent", bed.sim.now))
+    bed.sim.run(until=5_000)
+    bulk_times = [t for key, t in done_times.items() if key != "urgent"]
+    return {
+        "mode": "fifo" if fifo_only else "priority",
+        "urgent_done_s": done_times.get("urgent", float("nan")) - 50.0,
+        "first_bulk_done_s": (min(bulk_times) - 50.0) if bulk_times else float("nan"),
+        "last_bulk_done_s": (max(bulk_times) - 50.0) if bulk_times else float("nan"),
+        "all_done": len(done_times) == n_bulk + 1,
+    }
+
+
+def run_e8_relay_fallback() -> dict:
+    """Direct link down for 10 minutes; relay (slow) available."""
+    results = {}
+    for label, with_relay in (("direct-only", False), ("with-relay", True)):
+        bed = build_testbed(
+            link_spec=ETHERNET_10M,
+            policy=IntervalTrace([(0.0, 1.0), (600.0, 1e9)]),
+            with_relay=with_relay,
+            relay_link_spec=CSLIP_14_4,
+        )
+        bed.server.put_object(_null_object())
+        bed.sim.run(until=10.0)  # direct link now down
+        promise = bed.access.invoke_remote("urn:rover:server/bench/null", "ping")
+        done = {}
+        promise.add_callback(lambda w: done.__setitem__("t", bed.sim.now))
+        bed.sim.run(until=2_000)
+        results[label] = done.get("t", float("nan")) - 10.0
+    return {
+        "direct_only_latency_s": results["direct-only"],
+        "with_relay_latency_s": results["with-relay"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# E9 — end-to-end disconnected operation, all three applications
+# ---------------------------------------------------------------------------
+
+
+def run_e9_disconnected() -> dict:
+    """One client, one disconnection cycle, all three apps: verify that
+    no operation blocks while down and all state converges after."""
+    bed = build_testbed(
+        link_spec=WAVELAN_2M,
+        policy=IntervalTrace([(0.0, 120.0), (2_000.0, 1e9)]),
+    )
+    corpus = generate_mail_corpus(seed=33, n_folders=1, messages_per_folder=4)
+    mail = MailServerApp(bed.server, corpus)
+    site = generate_site(seed=33, n_pages=8)
+    WebServerApp(bed.server, site)
+    cal_urn, __ = install_calendar(bed.server)
+
+    reader = RoverMailReader(bed.access, bed.authority)
+    proxy = ClickAheadProxy(bed.access, bed.authority, prefetch_delay_threshold_s=0.0)
+    replica = CalendarReplica(bed.access, cal_urn)
+
+    # Connected phase: hoard.
+    reader.prefetch_folder("inbox").wait(bed.sim)
+    root_view = proxy.navigate(site.root)
+    replica.checkout().wait(bed.sim)
+    bed.access.drain(timeout=110)
+
+    bed.sim.run(until=200)  # disconnected
+    disconnected_at = bed.sim.now
+    assert not bed.link.is_up
+
+    # Work offline.
+    reads = 0
+    for entry in reader.folder_index("inbox"):
+        promise = reader.read_message("inbox", entry["id"])
+        bed.sim.run_until(lambda: promise.is_done, timeout=2.0)
+        reads += 1 if promise.ready else 0
+    from repro.workloads import CalendarOp
+
+    replica.apply_op(
+        CalendarOp(op="add", event_id="offline-ev", title="t", room="r", slot=4, alt_slots=[5])
+    )
+    offline_view = proxy.navigate(site.pages[site.root].links[0])
+    offline_cached = offline_view.displayed or offline_view.from_cache
+    queued = bed.access.pending_count()
+
+    bed.sim.run(until=5_000)  # reconnected at t=2000
+    server_events = bed.server.get_object(str(cal_urn)).data["events"]
+    return {
+        "offline_reads_served": reads,
+        "offline_page_from_cache": bool(offline_cached),
+        "qrpcs_queued_while_down": queued,
+        "pending_after_reconnect": bed.access.pending_count(),
+        "calendar_event_committed": "offline-ev" in server_events,
+        "tentative_after_reconnect": len(bed.access.cache.tentative_urns()),
+        "disconnected_at_s": disconnected_at,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E10 — wire compression ablation (named but omitted by the paper)
+# ---------------------------------------------------------------------------
+
+
+def run_e10_compression(
+    links: tuple[LinkSpec, ...] = (WAVELAN_2M, CSLIP_14_4, CSLIP_2_4),
+    n_messages: int = 8,
+    seed: int = 42,
+) -> list[dict]:
+    """Prefetch a mail folder with and without wire compression.
+
+    The paper's prototype "does not perform any compression"; this
+    ablation quantifies what that simplicity costs per link: bytes on
+    the wire and time to complete the prefetch.
+    """
+    corpus = generate_mail_corpus(seed=seed, n_folders=1, messages_per_folder=n_messages)
+    rows = []
+    for spec in links:
+        measured = {}
+        for label, threshold in (("raw", None), ("compressed", 256)):
+            bed = build_testbed(link_spec=spec, compress_threshold=threshold)
+            MailServerApp(bed.server, corpus)
+            reader = RoverMailReader(bed.access, bed.authority)
+            reader.prefetch_folder("inbox").wait(bed.sim)
+            bed.access.drain(timeout=1e7)
+            measured[label] = {
+                "bytes": bed.link.bytes_carried,
+                "time": bed.sim.now,
+            }
+        rows.append(
+            {
+                "link": spec.name,
+                "raw_bytes": measured["raw"]["bytes"],
+                "compressed_bytes": measured["compressed"]["bytes"],
+                "raw_time_s": measured["raw"]["time"],
+                "compressed_time_s": measured["compressed"]["time"],
+                "time_saved_pct": 100.0
+                * (measured["raw"]["time"] - measured["compressed"]["time"])
+                / measured["raw"]["time"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E11 — batched log draining (channel-use optimization)
+# ---------------------------------------------------------------------------
+
+
+def run_e11_batching(
+    n_queued: int = 12,
+    batch_sizes: tuple[int, ...] = (1, 4, 12),
+    spec: LinkSpec = CSLIP_14_4,
+) -> list[dict]:
+    """Drain a parked QRPC queue on reconnection, varying batch size.
+
+    While disconnected the client queues ``n_queued`` imports; on
+    reconnection the scheduler drains them either one exchange each
+    (the paper's prototype) or several per exchange.  On a 100 ms-RTT
+    modem the round trips dominate, so batching shortens the drain
+    almost linearly until serialization takes over.
+    """
+    rows = []
+    for batch_max in batch_sizes:
+        bed = build_testbed(
+            link_spec=spec,
+            policy=IntervalTrace([(100.0, 1e9)]),
+            batch_max=batch_max,
+            max_inflight=1,
+        )
+        urns = []
+        for index in range(n_queued):
+            urn = URN("server", f"bench/drain/{index:02d}")
+            bed.server.put_object(RDO(urn, "blob", {"n": index, "pad": "x" * 512}))
+            urns.append(str(urn))
+        promises = [bed.access.import_(urn) for urn in urns]
+        bed.sim.run_until(lambda: all(p.is_done for p in promises), timeout=1e6)
+        rows.append(
+            {
+                "batch_max": batch_max,
+                "drain_time_s": bed.sim.now - 100.0,
+                "exchanges": bed.client_transport.messages_sent,
+                "batches": bed.scheduler.batches_sent,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# F1 — import latency vs object size (figure-style series)
+# ---------------------------------------------------------------------------
+
+
+def run_f1_size_sweep(
+    links: tuple[LinkSpec, ...] = STANDARD_LINKS,
+    sizes: tuple[int, ...] = (1024, 4096, 16 * 1024, 64 * 1024, 128 * 1024),
+) -> list[dict]:
+    """Import latency as a function of object size, per link.
+
+    The figure-style series behind every table: latency is affine in
+    size with slope ~8/bandwidth and intercept ~(flush + 2*latency).
+    """
+    rows = []
+    for spec in links:
+        for size in sizes:
+            bed = build_testbed(link_spec=spec)
+            urn = URN("server", f"bench/size/{size}")
+            bed.server.put_object(RDO(urn, "blob", {"body": "x" * size}))
+            start = bed.sim.now
+            bed.access.import_(str(urn)).wait(bed.sim, timeout=1e6)
+            rows.append(
+                {
+                    "link": spec.name,
+                    "size_bytes": size,
+                    "import_s": bed.sim.now - start,
+                    "analytic_tx_s": spec.transfer_time(size),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# F2 — availability vs connectivity duty cycle (figure-style series)
+# ---------------------------------------------------------------------------
+
+
+def run_f2_availability(
+    duty_cycles: tuple[float, ...] = (0.05, 0.25, 0.5, 1.0),
+    period_s: float = 600.0,
+    n_reads: int = 20,
+    seed: int = 5,
+) -> list[dict]:
+    """Fraction of mail reads served instantly vs link duty cycle.
+
+    The paper's thesis, as a curve: a conventional client's
+    availability tracks the link's duty cycle, while Rover (prefetch +
+    cache + queued updates) keeps serving reads locally regardless.
+    Reads land at deterministic times spread across several
+    connect/disconnect cycles; "served" means the message displays
+    within one virtual second of the request.
+    """
+    from repro.core.hoard import Hoarder, HoardProfile
+    from repro.net.link import PeriodicSchedule
+    from repro.sim import make_rng
+
+    rows = []
+    corpus = generate_mail_corpus(seed=seed, n_folders=1, messages_per_folder=10)
+    ids = [m.msg_id for m in corpus.folders["inbox"]]
+    for duty in duty_cycles:
+        if duty >= 1.0:
+            policy = None
+        else:
+            policy = PeriodicSchedule(
+                up_duration=duty * period_s,
+                down_duration=(1.0 - duty) * period_s,
+            )
+        bed = build_testbed(link_spec=CSLIP_14_4, policy=policy)
+        MailServerApp(bed.server, corpus)
+        reader = RoverMailReader(bed.access, bed.authority)
+        profile = HoardProfile().add("urn:rover:server/mail/")
+        Hoarder(bed.access, "server", profile, refresh_interval_s=period_s).start()
+
+        rng = make_rng(seed, f"f2:{duty}")
+        read_times = sorted(
+            rng.uniform(period_s, period_s * 6) for __ in range(n_reads)
+        )
+        rover_served = 0
+        blocking_served = 0
+        for when in read_times:
+            bed.sim.run(until=when)
+            msg_id = ids[rng.randrange(len(ids))]
+            promise = reader.read_message("inbox", msg_id)
+            bed.sim.run_until(lambda: promise.is_done, timeout=1.0)
+            if promise.ready:
+                rover_served += 1
+            # The conventional client needs the link up right now.
+            if bed.link.is_up:
+                blocking_served += 1
+        rows.append(
+            {
+                "duty_cycle_pct": duty * 100.0,
+                "rover_availability_pct": 100.0 * rover_served / n_reads,
+                "blocking_availability_pct": 100.0 * blocking_served / n_reads,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# F3 — shared wireless cell: per-client hoard time vs population
+# ---------------------------------------------------------------------------
+
+
+def run_f3_shared_cell(
+    populations: tuple[int, ...] = (1, 2, 4, 8),
+    n_objects: int = 6,
+    seed: int = 9,
+) -> list[dict]:
+    """N clients hoard a folder at once over one WaveLAN cell.
+
+    Dedicated links would finish in constant time regardless of N; a
+    shared 2 Mbit/s cell serializes air time, so the last client's
+    finish time grows ~linearly with the population — the contention
+    reality behind the paper's wireless numbers.
+    """
+    corpus = generate_mail_corpus(
+        seed=seed, n_folders=1, messages_per_folder=n_objects
+    )
+    rows = []
+    for n in populations:
+        results = {}
+        for label, shared in (("shared", True), ("dedicated", False)):
+            bed = build_multi_client_testbed(
+                n, link_spec=WAVELAN_2M, shared_medium=shared, seed=seed
+            )
+            MailServerApp(bed.server, corpus)
+            readers = [
+                RoverMailReader(client.access, bed.authority)
+                for client in bed.clients
+            ]
+            promises = [reader.prefetch_folder("inbox") for reader in readers]
+            bed.sim.run_until(
+                lambda: all(
+                    client.access.pending_count() == 0 for client in bed.clients
+                )
+                and all(p.is_done for p in promises),
+                timeout=1e6,
+            )
+            results[label] = bed.sim.now
+        rows.append(
+            {
+                "clients": n,
+                "shared_cell_s": results["shared"],
+                "dedicated_links_s": results["dedicated"],
+                "slowdown": results["shared"] / results["dedicated"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E12 — optimistic concurrency vs application-level locks
+# ---------------------------------------------------------------------------
+
+
+def run_e12_locking(n_clients: int = 4, edits_per_client: int = 2) -> dict:
+    """M clients edit the *same field* of one object, optimistically vs
+    with check-out locks.
+
+    The paper expects some applications to be "structured as a
+    collection of independent atomic actions, where the importing
+    action sets an appropriate application-level lock".  This measures
+    what that buys: optimistic concurrency on an unmergeable type
+    yields manual conflicts; lock-then-edit serializes cleanly at the
+    cost of lock waits.
+    """
+    from repro.core.promise import Promise
+
+    note_code = (
+        "def read(state):\n"
+        "    return state['text']\n"
+        "\n"
+        "def set_text(state, text):\n"
+        "    state['text'] = text\n"
+        "    return text\n"
+    )
+    note_interface = RDOInterface(
+        [MethodSpec("read"), MethodSpec("set_text", mutates=True)]
+    )
+    results = {}
+    for mode in ("optimistic", "locked"):
+        bed = build_multi_client_testbed(n_clients, link_spec=ETHERNET_10M)
+        note = RDO(
+            URN("server", "bench/contended"),
+            "note",
+            {"text": "initial"},
+            code=note_code,
+            interface=note_interface,
+        )
+        bed.server.put_object(note)
+        urn = str(note.urn)
+        conflicts = {"n": 0}
+        edits_done = {"n": 0}
+
+        def client_script(stack, label: str):
+            session = stack.access.create_session(f"s-{label}")
+            stack.access.on_conflict(lambda report: conflicts.__setitem__("n", conflicts["n"] + 1))
+            for edit in range(edits_per_client):
+                if mode == "locked":
+                    while True:
+                        grant = stack.access.acquire_lock(urn, session)
+                        yield grant
+                        if grant.ready:
+                            break
+                        yield 0.5  # lock held elsewhere: retry shortly
+                fresh = stack.access.import_(urn, session, refresh=True)
+                yield fresh
+                if fresh.failed:
+                    continue
+                stack.access.invoke(urn, "set_text", f"{label}-edit{edit}", session=session)
+                # Wait for this client's export round to settle.
+                done = Promise(label="settle")
+                deadline_poll = 0.05
+
+                def check(d=done):
+                    if stack.access.pending_count() == 0:
+                        d.resolve(True)
+                    else:
+                        bed.sim.schedule(deadline_poll, check)
+
+                bed.sim.schedule(deadline_poll, check)
+                yield done
+                if mode == "locked":
+                    release = stack.access.release_lock(urn, session)
+                    yield release
+                edits_done["n"] += 1
+
+        processes = [
+            bed.sim.spawn(client_script(stack, f"c{index}"), name=f"c{index}")
+            for index, stack in enumerate(bed.clients)
+        ]
+        start = bed.sim.now
+        bed.sim.run_until(lambda: all(p.is_done for p in processes), timeout=1e5)
+        results[mode] = {
+            "edits_attempted": n_clients * edits_per_client,
+            "edits_completed": edits_done["n"],
+            "manual_conflicts": conflicts["n"],
+            "server_version": bed.server.store.version(urn) or 0,
+            "elapsed_s": bed.sim.now - start,
+            "lock_denials": bed.server.locks_denied,
+        }
+    return results

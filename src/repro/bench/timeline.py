@@ -1,0 +1,124 @@
+"""ASCII timelines of a scenario — observability for experiments.
+
+Renders what happened on a testbed as aligned character lanes over
+virtual time: link state, queued/outstanding QRPC counts, and dots for
+the toolkit events (imports, commits, conflicts).  Built entirely from
+the notification history and link policies, so it works on any finished
+scenario without instrumenting the code under test.
+
+Example output::
+
+    t(s)       0.0 ......................................... 600.0
+    link       ####............................#############
+    queue      ...2344444444444444444444444444431...........
+    events     .I........TT..........................CC.....
+
+Legend: ``#`` link up, ``.`` idle/zero, digits = queue depth (9+ caps),
+``I`` import completed, ``T`` tentative created, ``C`` commit,
+``X`` conflict, ``!`` request failed.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_manager import AccessManager
+from repro.core.notification import EventType
+from repro.net.simnet import Link
+
+_EVENT_GLYPHS = {
+    EventType.OBJECT_IMPORTED: "I",
+    EventType.TENTATIVE_CREATED: "T",
+    EventType.OBJECT_COMMITTED: "C",
+    EventType.CONFLICT_RESOLVED: "M",  # auto-merged
+    EventType.CONFLICT_DETECTED: "X",
+    EventType.REQUEST_FAILED: "!",
+    EventType.OBJECT_INVALIDATED: "i",
+    EventType.CACHE_EVICTED: "e",
+}
+
+#: Priority when several events land in one column (most severe wins).
+_GLYPH_RANK = {"X": 7, "!": 6, "M": 5, "C": 4, "T": 3, "I": 2, "i": 1, "e": 0}
+
+
+class Timeline:
+    """Render lanes for one client over ``[start, end]`` virtual time."""
+
+    def __init__(
+        self,
+        access: AccessManager,
+        start: float,
+        end: float,
+        width: int = 72,
+    ) -> None:
+        if end <= start:
+            raise ValueError("end must be after start")
+        self.access = access
+        self.start = start
+        self.end = end
+        self.width = width
+
+    def _column(self, t: float) -> int:
+        fraction = (t - self.start) / (self.end - self.start)
+        return min(self.width - 1, max(0, int(fraction * self.width)))
+
+    def link_lane(self, link: Link) -> str:
+        """``#`` where the link was up, ``.`` where it was down."""
+        cells = []
+        step = (self.end - self.start) / self.width
+        for index in range(self.width):
+            midpoint = self.start + (index + 0.5) * step
+            cells.append("#" if link.policy.is_up(midpoint) else ".")
+        return "".join(cells)
+
+    def queue_lane(self) -> str:
+        """Outstanding QRPC count per column (digits; ``9`` caps; ``.`` zero).
+
+        Reconstructed from REQUEST_QUEUED / RESPONSE_ARRIVED /
+        REQUEST_FAILED events, sampled at column midpoints.
+        """
+        deltas: list[tuple[float, int]] = []
+        for n in self.access.notifications.history:
+            if n.event is EventType.REQUEST_QUEUED:
+                deltas.append((n.time, +1))
+            elif n.event in (EventType.RESPONSE_ARRIVED, EventType.REQUEST_FAILED):
+                deltas.append((n.time, -1))
+        deltas.sort(key=lambda pair: pair[0])
+        cells = []
+        step = (self.end - self.start) / self.width
+        depth = 0
+        cursor = 0
+        for index in range(self.width):
+            midpoint = self.start + (index + 0.5) * step
+            while cursor < len(deltas) and deltas[cursor][0] <= midpoint:
+                depth += deltas[cursor][1]
+                cursor += 1
+            depth = max(0, depth)
+            cells.append("." if depth == 0 else str(min(depth, 9)))
+        return "".join(cells)
+
+    def event_lane(self) -> str:
+        """One glyph per column for the most severe toolkit event."""
+        cells = ["."] * self.width
+        for n in self.access.notifications.history:
+            glyph = _EVENT_GLYPHS.get(n.event)
+            if glyph is None or not (self.start <= n.time <= self.end):
+                continue
+            column = self._column(n.time)
+            if _GLYPH_RANK[glyph] >= _GLYPH_RANK.get(cells[column], -1):
+                cells[column] = glyph
+        return "".join(cells)
+
+    def render(self, link: Link | None = None) -> str:
+        """The full multi-lane picture."""
+        label_width = 10
+        header = (
+            f"{'t(s)':<{label_width}}{self.start:<6.1f}"
+            + "." * (self.width - 12)
+            + f"{self.end:>6.1f}"
+        )
+        lanes = [header]
+        links = [link] if link is not None else self.access.host.links
+        for attached in links:
+            lanes.append(f"{'link':<{label_width}}{self.link_lane(attached)}")
+        lanes.append(f"{'queue':<{label_width}}{self.queue_lane()}")
+        lanes.append(f"{'events':<{label_width}}{self.event_lane()}")
+        return "\n".join(lanes)

@@ -1,0 +1,852 @@
+"""The client-side access manager.
+
+Applications talk to Rover exclusively through this object (section 5.1:
+Tcl/Tk applications link a library that "provides functions for
+communicating with the Rover access manager").  It glues together the
+object cache, the stable operation log, the network scheduler, and the
+notification center:
+
+* :meth:`import_` — non-blocking import; a cache hit resolves
+  immediately, a miss logs a QRPC and returns a promise;
+* :meth:`invoke` — invoke a method on the *cached* copy (the fast path
+  that motivates RDOs); mutating methods mark the copy tentative and
+  automatically queue an export;
+* :meth:`export` — push a tentative copy to its home server; commit,
+  server-side resolution, and conflict outcomes all surface through
+  the returned promise and the notification center;
+* :meth:`invoke_remote` / :meth:`ship` — function shipping toward the
+  server;
+* :meth:`recover` — after a crash, re-submit every logged QRPC.
+
+Every QRPC is flushed to the stable log before it is handed to the
+scheduler; the flush time is charged to virtual time (it delays the
+submission) and accounted in :attr:`flush_seconds_total` — the exact
+quantity experiment E2 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.conflict import ConflictReport
+from repro.core.interpreter import SafeInterpreter
+from repro.core.naming import URN, make_request_id
+from repro.core.notification import EventType, NotificationCenter
+from repro.core.object_cache import CacheStatus, ObjectCache
+from repro.core.operation_log import OperationLog
+from repro.core.promise import Promise
+from repro.core.qrpc import Operation, QRPCRequest
+from repro.core.rdo import RDO, ExecutionCostModel
+from repro.core.session import Session, SessionRegistry
+from repro.net.scheduler import NetworkScheduler, Priority
+from repro.net.simnet import Host
+from repro.sim import Simulator
+
+
+class AccessManagerError(Exception):
+    """Client-side toolkit misuse."""
+
+
+class AccessManager:
+    """Rover toolkit entry point for one client host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: NetworkScheduler,
+        servers: dict[str, Host],
+        cache: Optional[ObjectCache] = None,
+        log: Optional[OperationLog] = None,
+        notifications: Optional[NotificationCenter] = None,
+        cost_model: Optional[ExecutionCostModel] = None,
+        step_budget: int = 200_000,
+        auth_token: str = "",
+        group_commit_s: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.host = scheduler.host
+        #: authority name -> home-server Host
+        self.servers = dict(servers)
+        self.cache = cache if cache is not None else ObjectCache(clock=lambda: sim.now)
+        self.log = log if log is not None else OperationLog()
+        self.notifications = notifications or NotificationCenter()
+        self.cost_model = cost_model or ExecutionCostModel()
+        #: Credential presented with every QRPC (see RoverServer.auth_tokens).
+        self.auth_token = auth_token
+        #: Group-commit window: 0 flushes the log on every QRPC (the
+        #: paper's prototype); >0 batches appends behind one flush per
+        #: window, trading a wider crash-loss window for less time on
+        #: the critical path (ablated in benchmark E2b).
+        self.group_commit_s = group_commit_s
+        self._group_flush_timer: Any = None
+        self._unflushed: list[tuple[QRPCRequest, Optional[Session]]] = []
+        #: The disk is a serial resource: concurrent flush requests
+        #: queue behind each other (virtual time).
+        self._flush_busy_until = 0.0
+        self._invalidation_bound = False
+        self.interpreter = SafeInterpreter(step_budget=step_budget)
+        self.sessions = SessionRegistry(self.host.name)
+        self._request_counter = 0
+        self._promises: dict[str, Promise] = {}
+        self._conflict_handlers: list[Callable[[ConflictReport], None]] = []
+        self.flush_seconds_total = 0.0
+        self.local_invokes = 0
+        self.local_invoke_seconds_total = 0.0
+        self.remote_invokes = 0
+        #: per-URN export pipeline: at most one export in flight per
+        #: object; later mutations coalesce into the next round.
+        self._exports: dict[str, dict] = {}
+        #: per-URN outstanding imports: duplicate imports attach to the
+        #: in-flight request instead of consuming the channel twice; a
+        #: foreground request for a background-prefetched page upgrades
+        #: the queued message's priority (the paper's outstanding-
+        #: requests list).
+        self._imports: dict[str, dict] = {}
+        self._watched_links: set[str] = set()
+        self._watch_connectivity()
+
+    # -- sessions -------------------------------------------------------------
+
+    def create_session(
+        self,
+        name: Optional[str] = None,
+        accept_tentative: bool = True,
+        require_guarantees: bool = True,
+    ) -> Session:
+        """Open an application session (carries Bayou-style guarantees)."""
+        return self.sessions.create(name, accept_tentative, require_guarantees)
+
+    def on_conflict(self, handler: Callable[[ConflictReport], None]) -> None:
+        """Register an application-level conflict handler (manual repair UI)."""
+        self._conflict_handlers.append(handler)
+
+    # -- import ---------------------------------------------------------------
+
+    def import_(
+        self,
+        urn: URN | str,
+        session: Optional[Session] = None,
+        priority: Priority = Priority.DEFAULT,
+        callback: Optional[Callable[[RDO], None]] = None,
+        refresh: bool = False,
+        max_age_s: Optional[float] = None,
+    ) -> Promise:
+        """Import an object; returns a promise for the local RDO copy.
+
+        A cache hit (committed, or tentative if the session accepts
+        tentative data) resolves the promise immediately without any
+        network traffic.  A miss appends a QRPC to the stable log and
+        returns; the promise resolves when the response arrives —
+        possibly much later, after reconnection.
+
+        ``max_age_s`` bounds staleness: a committed cache hit older
+        than this re-imports from the server (the paper's "periodic
+        polling" freshness option).  Tentative copies are always
+        served — local updates are newer than anything the server has.
+        """
+        urn_str = str(urn if isinstance(urn, URN) else URN.parse(str(urn)))
+        self._server_for(urn_str)  # fail fast on unknown authorities
+        promise = Promise(label=f"import {urn_str}")
+        if callback is not None:
+            promise.then(callback)
+
+        if not refresh:
+            entry = self.cache.lookup(urn_str)
+            if entry is not None:
+                tentative_ok = session is None or session.accept_tentative
+                fresh_enough = (
+                    entry.tentative
+                    or max_age_s is None
+                    or (self.sim.now - entry.inserted_at) <= max_age_s
+                )
+                if (not entry.tentative or tentative_ok) and fresh_enough:
+                    if session is not None:
+                        session.record_read(urn_str, entry.rdo.version)
+                    self.sim.schedule(0.0, promise.resolve, entry.rdo)
+                    return promise
+
+        pending = self._imports.get(urn_str)
+        if pending is not None:
+            # An import for this object is already outstanding: attach,
+            # and upgrade its priority if this caller is more urgent
+            # (a clicked page overtaking its own prefetch).
+            pending["waiters"].append((promise, session))
+            message = pending.get("message")
+            if message is not None:
+                if priority < message.priority:
+                    self.scheduler.reprioritize(message, priority)
+            elif priority < pending["request"].priority:
+                # Not yet handed to the scheduler (log flush pending):
+                # upgrade the request so it is submitted urgent.
+                pending["request"].priority = priority
+            return promise
+
+        request = self._new_request(
+            Operation.IMPORT,
+            urn_str,
+            args={},
+            session=session,
+            priority=priority,
+        )
+        self._imports[urn_str] = {"request": request, "waiters": [(promise, session)]}
+        self._log_and_submit(request, session)
+        return promise
+
+    def prefetch(self, urns: list[URN | str], session: Optional[Session] = None) -> list[Promise]:
+        """Queue background imports to warm the cache before disconnection."""
+        return [
+            self.import_(urn, session=session, priority=Priority.BACKGROUND)
+            for urn in urns
+        ]
+
+    # -- local invocation -------------------------------------------------------
+
+    def invoke(
+        self,
+        urn: URN | str,
+        method: str,
+        *args: Any,
+        session: Optional[Session] = None,
+    ) -> tuple[Any, float]:
+        """Invoke a method on the cached copy of an object.
+
+        Returns ``(result, virtual_seconds_charged)``.  If the method
+        mutates, the cached copy becomes tentative and an export QRPC
+        is queued automatically.  Raises :class:`AccessManagerError`
+        when the object is not cached — import it first (the paper's
+        check-out model).
+        """
+        urn_str = str(urn if isinstance(urn, URN) else URN.parse(str(urn)))
+        entry = self.cache.lookup(urn_str)
+        if entry is None:
+            raise AccessManagerError(f"{urn_str} not cached; import it first")
+        result, steps = entry.rdo.invoke(self.interpreter, method, *args)
+        cost = self.cost_model.invoke_time(steps)
+        self.local_invokes += 1
+        self.local_invoke_seconds_total += cost
+        if entry.rdo.interface.mutates(method):
+            self.cache.mark_tentative(urn_str)
+            self.notifications.publish(
+                EventType.TENTATIVE_CREATED, self.sim.now, urn=urn_str, method=method
+            )
+            self.export(urn_str, session=session)
+        return result, cost
+
+    # -- export ----------------------------------------------------------------
+
+    def export(
+        self,
+        urn: URN | str,
+        session: Optional[Session] = None,
+        priority: Priority = Priority.DEFAULT,
+    ) -> Promise:
+        """Queue the tentative cached copy for commit at its home server.
+
+        Exports are serialized per object: at most one is in flight at
+        a time, and mutations made while one is outstanding coalesce
+        into a single follow-up round (carrying the then-current state
+        and the then-current base version).  This is what keeps a
+        client's own sequential updates from colliding with each other
+        at the server.
+        """
+        urn_str = str(urn if isinstance(urn, URN) else URN.parse(str(urn)))
+        entry = self.cache.peek(urn_str)
+        if entry is None:
+            raise AccessManagerError(f"{urn_str} not cached; nothing to export")
+        state = self._exports.setdefault(
+            urn_str,
+            {"inflight": False, "dirty": False, "current": [], "queued": []},
+        )
+        promise = Promise(label=f"export {urn_str}")
+        if state["inflight"]:
+            state["dirty"] = True
+            state["queued"].append(promise)
+            return promise
+        state["current"].append(promise)
+        self._start_export_round(urn_str, session, priority)
+        return promise
+
+    def _start_export_round(
+        self, urn_str: str, session: Optional[Session], priority: Priority
+    ) -> None:
+        from repro.net.message import marshal, unmarshal
+
+        entry = self.cache.peek(urn_str)
+        state = self._exports[urn_str]
+        if entry is None:
+            for promise in state["current"]:
+                promise.reject("object evicted before export")
+            state["current"] = []
+            state["inflight"] = False
+            return
+        request = self._new_request(
+            Operation.EXPORT,
+            urn_str,
+            args={
+                # Snapshot: the export carries exactly the state at
+                # round start, not whatever the app mutates later.
+                "data": unmarshal(marshal(entry.rdo.data)),
+                "base_version": entry.base_version,
+            },
+            session=session,
+            priority=priority,
+        )
+        state["inflight"] = True
+        state["session"] = session
+        state["priority"] = priority
+        self._log_and_submit(request, session)
+
+    # -- remote execution --------------------------------------------------------
+
+    def invoke_remote(
+        self,
+        urn: URN | str,
+        method: str,
+        args: Optional[list] = None,
+        session: Optional[Session] = None,
+        priority: Priority = Priority.DEFAULT,
+    ) -> Promise:
+        """Queue a method invocation against the server's authoritative copy."""
+        urn_str = str(urn if isinstance(urn, URN) else URN.parse(str(urn)))
+        request = self._new_request(
+            Operation.INVOKE,
+            urn_str,
+            args={"method": method, "args": args or []},
+            session=session,
+            priority=priority,
+        )
+        promise = Promise(label=f"invoke {urn_str}.{method}")
+        self._promises[request.request_id] = promise
+        self._log_and_submit(request, session)
+        self.remote_invokes += 1
+        return promise
+
+    def ship(
+        self,
+        authority: str,
+        code: str,
+        method: str = "main",
+        args: Optional[list] = None,
+        session: Optional[Session] = None,
+        priority: Priority = Priority.DEFAULT,
+    ) -> Promise:
+        """Ship an RDO to a server and run it there (one queued exchange)."""
+        if authority not in self.servers:
+            raise AccessManagerError(f"unknown authority {authority!r}")
+        request = self._new_request(
+            Operation.SHIP,
+            f"urn:rover:{authority}/__shipped__",
+            args={"code": code, "method": method, "args": args or []},
+            session=session,
+            priority=priority,
+        )
+        promise = Promise(label=f"ship to {authority}")
+        self._promises[request.request_id] = promise
+        self._log_and_submit(request, session)
+        return promise
+
+    # -- load: import + immediate invocation ------------------------------------
+
+    def load(
+        self,
+        urn: URN | str,
+        method: str,
+        *args: Any,
+        session: Optional[Session] = None,
+        priority: Priority = Priority.DEFAULT,
+    ) -> Promise:
+        """Import an object and invoke a method on arrival.
+
+        The paper: "The current implementation also has a load
+        operation that is an import combined with a call to create a
+        process."  The returned promise resolves with the method's
+        result once the object has arrived and run locally.
+        """
+        urn_str = str(urn if isinstance(urn, URN) else URN.parse(str(urn)))
+        done = Promise(label=f"load {urn_str}.{method}")
+        imported = self.import_(urn_str, session=session, priority=priority)
+
+        def run(rdo: RDO) -> None:
+            try:
+                result, __ = self.invoke(urn_str, method, *args, session=session)
+            except Exception as exc:
+                done.reject(f"{type(exc).__name__}: {exc}")
+                return
+            done.resolve(result)
+
+        imported.then(run)
+        imported.on_failure(done.reject)
+        return done
+
+    # -- application-level locks --------------------------------------------------
+
+    def acquire_lock(
+        self,
+        urn: URN | str,
+        session: Session,
+        lease_s: float = 300.0,
+        priority: Priority = Priority.DEFAULT,
+    ) -> Promise:
+        """Queue a lock acquisition (check-out) for this session.
+
+        Resolves with the grant reply, or rejects with ``locked`` when
+        another session holds the lease.  While the lease is held,
+        only this session's exports commit at the server.
+        """
+        urn_str = str(urn if isinstance(urn, URN) else URN.parse(str(urn)))
+        request = self._new_request(
+            Operation.LOCK,
+            urn_str,
+            args={"lease_s": lease_s},
+            session=session,
+            priority=priority,
+        )
+        promise = Promise(label=f"lock {urn_str}")
+        self._promises[request.request_id] = promise
+        self._log_and_submit(request, session)
+        return promise
+
+    def release_lock(
+        self,
+        urn: URN | str,
+        session: Session,
+        priority: Priority = Priority.DEFAULT,
+    ) -> Promise:
+        """Queue the lock release (check-in)."""
+        urn_str = str(urn if isinstance(urn, URN) else URN.parse(str(urn)))
+        request = self._new_request(
+            Operation.UNLOCK, urn_str, args={}, session=session, priority=priority
+        )
+        promise = Promise(label=f"unlock {urn_str}")
+        self._promises[request.request_id] = promise
+        self._log_and_submit(request, session)
+        return promise
+
+    def _apply_lock(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
+        promise = self._take_promise(request)
+        if reply.get("status") == "ok":
+            promise.resolve(reply)
+        else:
+            promise.reject(reply.get("status", "lock failed"))
+
+    # -- directory + invalidation callbacks -------------------------------------
+
+    def list_objects(
+        self,
+        authority: str,
+        prefix: str = "",
+        priority: Priority = Priority.DEFAULT,
+    ) -> Promise:
+        """Queue a directory listing: promise of URN strings under prefix.
+
+        Used by hoard walking (:mod:`repro.core.hoard`) to discover
+        the collection of objects to prefetch before disconnection.
+        """
+        if authority not in self.servers:
+            raise AccessManagerError(f"unknown authority {authority!r}")
+        request = self._new_request(
+            Operation.LIST,
+            f"urn:rover:{authority}/__list__",
+            args={"prefix": prefix or f"urn:rover:{authority}/"},
+            session=None,
+            priority=priority,
+        )
+        promise = Promise(label=f"list {authority}/{prefix}")
+        self._promises[request.request_id] = promise
+        self._log_and_submit(request, None)
+        return promise
+
+    def subscribe_invalidations(self, authority: str, prefix: str) -> Promise:
+        """Register for server callbacks when objects under prefix change.
+
+        The paper's alternative to periodic polling for narrowing the
+        stale-import window.  Callbacks are best-effort: while the
+        client is disconnected they are silently lost, and freshness
+        falls back to polling (``import_(..., max_age_s=...)``).
+        On receipt, a committed cached copy older than the advertised
+        version is dropped (tentative copies are kept — local updates
+        still need exporting) and OBJECT_INVALIDATED is published.
+        """
+        if authority not in self.servers:
+            raise AccessManagerError(f"unknown authority {authority!r}")
+        self._ensure_invalidation_listener()
+        request = self._new_request(
+            Operation.SUBSCRIBE,
+            f"urn:rover:{authority}/__subscribe__",
+            args={"prefix": prefix},
+            session=None,
+            priority=Priority.DEFAULT,
+        )
+        promise = Promise(label=f"subscribe {prefix}")
+        self._promises[request.request_id] = promise
+        self._log_and_submit(request, None)
+        return promise
+
+    def _ensure_invalidation_listener(self) -> None:
+        from repro.core.server import INVALIDATION_PORT
+        from repro.net.transport import Transport
+
+        if getattr(self, "_invalidation_bound", False):
+            return
+        self._invalidation_bound = True
+
+        def on_datagram(payload: bytes, source: Any) -> None:
+            message = Transport._decode_payload(payload)
+            if not isinstance(message, dict) or message.get("kind") != "invalidate":
+                return
+            urn = message.get("urn", "")
+            version = int(message.get("version", 0))
+            entry = self.cache.peek(urn)
+            if entry is None or entry.tentative or entry.rdo.version >= version:
+                return
+            self.cache.invalidate(urn)
+            self.notifications.publish(
+                EventType.OBJECT_INVALIDATED, self.sim.now, urn=urn, version=version
+            )
+
+        self.host.bind(INVALIDATION_PORT, on_datagram)
+
+    # -- queue state ----------------------------------------------------------
+
+    def pending_count(self) -> int:
+        return self.log.pending_count()
+
+    def drain(self, timeout: float = 1e9) -> bool:
+        """Run the simulator until every queued QRPC is answered."""
+        return self.sim.run_until(lambda: self.log.pending_count() == 0, timeout=timeout)
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def recover(self) -> list[str]:
+        """Resubmit every logged-but-unanswered QRPC (post-crash restart).
+
+        Promises from before the crash are gone (they lived in the old
+        process); responses still update the cache and the notification
+        center, and applications re-register interest by importing
+        again — cache hits make that cheap.
+        """
+        resubmitted = []
+        for request in self.log.pending():
+            self._submit(request, session=None)
+            resubmitted.append(request.request_id)
+        return resubmitted
+
+    # -- internals -----------------------------------------------------------
+
+    def _new_request(
+        self,
+        operation: Operation,
+        urn: str,
+        args: dict,
+        session: Optional[Session],
+        priority: Priority,
+    ) -> QRPCRequest:
+        request_id = make_request_id(self.host.name, self._request_counter)
+        self._request_counter += 1
+        return QRPCRequest(
+            request_id=request_id,
+            session_id=session.session_id if session is not None else "",
+            operation=operation,
+            urn=urn,
+            args=args,
+            priority=priority,
+            created_at=self.sim.now,
+        )
+
+    def _server_for(self, urn: str) -> Host:
+        authority = URN.parse(urn).authority
+        server = self.servers.get(authority)
+        if server is None:
+            raise AccessManagerError(f"no home server for authority {authority!r}")
+        return server
+
+    def _log_and_submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
+        self.notifications.publish(
+            EventType.REQUEST_QUEUED,
+            self.sim.now,
+            request_id=request.request_id,
+            operation=str(request.operation),
+            urn=request.urn,
+        )
+        if self.group_commit_s > 0:
+            self.log.append(request, flush=False)
+            self._unflushed.append((request, session))
+            if self._group_flush_timer is None:
+                self._group_flush_timer = self.sim.schedule(
+                    self.group_commit_s, self._group_flush
+                )
+            return
+        flush_time = self.log.append(request)
+        self.flush_seconds_total += flush_time
+        # The flush occupies the critical path, and the disk is serial:
+        # hand the request to the scheduler only once its log record is
+        # durable, queueing behind any flush already in progress.
+        durable_at = max(self.sim.now, self._flush_busy_until) + flush_time
+        self._flush_busy_until = durable_at
+        self.sim.schedule(durable_at - self.sim.now, self._submit, request, session)
+
+    def _group_flush(self) -> None:
+        """One flush covers every append in the group-commit window."""
+        self._group_flush_timer = None
+        flush_time = self.log.flush()
+        self.flush_seconds_total += flush_time
+        durable_at = max(self.sim.now, self._flush_busy_until) + flush_time
+        self._flush_busy_until = durable_at
+        batch, self._unflushed = self._unflushed, []
+        for request, session in batch:
+            self.sim.schedule(durable_at - self.sim.now, self._submit, request, session)
+
+    def _submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
+        dst = self._server_for(request.urn)
+        body = dict(request.args)
+        body["urn"] = request.urn
+        body["request_id"] = request.request_id
+        if request.session_id:
+            body["session"] = request.session_id
+        if self.auth_token:
+            body["auth"] = self.auth_token
+        if request.operation is Operation.SHIP:
+            body.pop("urn", None)
+        message = self.scheduler.submit(
+            dst,
+            request.service,
+            body,
+            priority=request.priority,
+            on_reply=lambda reply: self._on_reply(request, session, reply),
+            on_failed=lambda reason: self._on_failed(request, reason),
+        )
+        if request.operation is Operation.IMPORT:
+            pending = self._imports.get(request.urn)
+            if pending is not None and pending["request"] is request:
+                pending["message"] = message
+        self.notifications.publish(
+            EventType.REQUEST_SENT,
+            self.sim.now,
+            request_id=request.request_id,
+            operation=str(request.operation),
+        )
+
+    def _on_reply(self, request: QRPCRequest, session: Optional[Session], reply: Any) -> None:
+        if self.log.get(request.request_id) is None:
+            return  # duplicate response (at-most-once application)
+        flush_time = self.log.acknowledge(request.request_id)
+        self.flush_seconds_total += flush_time
+        self.notifications.publish(
+            EventType.RESPONSE_ARRIVED,
+            self.sim.now,
+            request_id=request.request_id,
+            operation=str(request.operation),
+            status=reply.get("status") if isinstance(reply, dict) else None,
+        )
+        handler = {
+            Operation.IMPORT: self._apply_import,
+            Operation.EXPORT: self._apply_export,
+            Operation.INVOKE: self._apply_invoke,
+            Operation.SHIP: self._apply_ship,
+            Operation.LIST: self._apply_list,
+            Operation.SUBSCRIBE: self._apply_subscribe,
+            Operation.LOCK: self._apply_lock,
+            Operation.UNLOCK: self._apply_lock,
+        }[request.operation]
+        handler(request, session, reply if isinstance(reply, dict) else {})
+
+    def _on_failed(self, request: QRPCRequest, reason: str) -> None:
+        self.log.mark_failed(request.request_id)
+        self.notifications.publish(
+            EventType.REQUEST_FAILED,
+            self.sim.now,
+            request_id=request.request_id,
+            reason=reason,
+        )
+        if request.operation is Operation.EXPORT:
+            self._finish_export_round(request.urn, {}, failed=reason)
+            return
+        if request.operation is Operation.IMPORT:
+            for promise, __ in self._take_import_waiters(request):
+                promise.reject(reason)
+            return
+        promise = self._promises.pop(request.request_id, None)
+        if promise is not None:
+            promise.reject(reason)
+
+    def _take_promise(self, request: QRPCRequest) -> Promise:
+        return self._promises.pop(request.request_id, Promise(label="orphan"))
+
+    def _take_import_waiters(self, request: QRPCRequest) -> list[tuple[Promise, Optional[Session]]]:
+        pending = self._imports.get(request.urn)
+        if pending is None or pending["request"] is not request:
+            return []
+        del self._imports[request.urn]
+        return pending["waiters"]
+
+    def _apply_import(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
+        waiters = self._take_import_waiters(request)
+        if reply.get("status") != "ok":
+            for promise, __ in waiters:
+                promise.reject(reply.get("status", "error"))
+            return
+        rdo = RDO.from_wire(reply["rdo"])
+        urn_str = str(rdo.urn)
+        if session is not None and not session.acceptable(urn_str, rdo.version):
+            # Session guarantee violation (stale response): re-import
+            # on behalf of every waiter.
+            retry = self._new_request(
+                Operation.IMPORT, urn_str, {}, session, request.priority
+            )
+            self._imports[urn_str] = {"request": retry, "waiters": waiters}
+            self._log_and_submit(retry, session)
+            return
+        existing = self.cache.peek(urn_str)
+        if existing is not None and existing.tentative:
+            # Never clobber local tentative updates with an import.
+            for promise, __ in waiters:
+                promise.resolve(existing.rdo)
+            return
+        evicted = self.cache.insert(rdo, CacheStatus.COMMITTED)
+        for victim in evicted:
+            self.notifications.publish(EventType.CACHE_EVICTED, self.sim.now, urn=victim)
+        for __, waiter_session in waiters:
+            if waiter_session is not None:
+                waiter_session.record_read(urn_str, rdo.version)
+        self.notifications.publish(
+            EventType.OBJECT_IMPORTED, self.sim.now, urn=urn_str, version=rdo.version
+        )
+        for promise, __ in waiters:
+            promise.resolve(rdo)
+
+    def _apply_export(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
+        status = reply.get("status")
+        urn_str = request.urn
+        state = self._exports.get(urn_str)
+        dirty = bool(state and state["dirty"])
+        if status == "committed":
+            if self.cache.peek(urn_str) is not None:
+                if dirty:
+                    # Later local mutations exist: adopt the new base
+                    # version but stay tentative for the next round.
+                    entry = self.cache.peek(urn_str)
+                    entry.base_version = int(reply["version"])
+                    entry.rdo.version = int(reply["version"])
+                else:
+                    self.cache.commit(urn_str, int(reply["version"]))
+            if session is not None:
+                session.record_write(urn_str, int(reply["version"]))
+            self.notifications.publish(
+                EventType.OBJECT_COMMITTED,
+                self.sim.now,
+                urn=urn_str,
+                version=int(reply["version"]),
+            )
+            self._finish_export_round(urn_str, reply, failed=None)
+        elif status == "resolved":
+            if self.cache.peek(urn_str) is not None:
+                if dirty:
+                    # The server merged our snapshot with concurrent
+                    # updates we do NOT hold locally.  Our local data
+                    # still derives from the *old* base, so the base
+                    # version must stay put: the next round's export
+                    # will three-way merge against the server's merged
+                    # value instead of clobbering it.  (Adopting the
+                    # new version here would erase other replicas'
+                    # updates — a silent-loss bug the chaos test
+                    # caught.)
+                    pass
+                else:
+                    self.cache.commit(
+                        urn_str, int(reply["version"]), data=reply.get("value")
+                    )
+            if session is not None:
+                session.record_write(urn_str, int(reply["version"]))
+            self.notifications.publish(
+                EventType.CONFLICT_RESOLVED,
+                self.sim.now,
+                urn=urn_str,
+                version=int(reply["version"]),
+                detail=reply.get("detail", ""),
+            )
+            self._finish_export_round(urn_str, reply, failed=None)
+        elif status == "conflict":
+            report = ConflictReport.from_wire(reply.get("conflict", {}))
+            self.notifications.publish(
+                EventType.CONFLICT_DETECTED,
+                self.sim.now,
+                urn=urn_str,
+                detail=report.detail,
+            )
+            for handler in list(self._conflict_handlers):
+                handler(report)
+            self._finish_export_round(urn_str, reply, failed=None)
+        else:
+            self._finish_export_round(urn_str, reply, failed=status or "export failed")
+
+    def _finish_export_round(
+        self, urn_str: str, reply: dict, failed: Optional[str]
+    ) -> None:
+        state = self._exports.get(urn_str)
+        if state is None:
+            return
+        waiters, state["current"] = state["current"], []
+        for promise in waiters:
+            if failed is None:
+                promise.resolve(reply)
+            else:
+                promise.reject(failed)
+        state["inflight"] = False
+        if state["dirty"]:
+            state["dirty"] = False
+            state["current"], state["queued"] = state["queued"], []
+            self._start_export_round(
+                urn_str,
+                state.get("session"),
+                state.get("priority", Priority.DEFAULT),
+            )
+
+    def _apply_invoke(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
+        promise = self._take_promise(request)
+        if reply.get("status") != "ok":
+            promise.reject(reply.get("status", "error"))
+            return
+        if "version" in reply and session is not None:
+            session.record_write(request.urn, int(reply["version"]))
+        promise.resolve(reply.get("result"))
+
+    def _apply_ship(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
+        promise = self._take_promise(request)
+        if reply.get("status") != "ok":
+            promise.reject(reply.get("status", "error"))
+            return
+        promise.resolve(reply.get("result"))
+
+    def _apply_list(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
+        promise = self._take_promise(request)
+        if reply.get("status") != "ok":
+            promise.reject(reply.get("status", "error"))
+            return
+        promise.resolve(reply.get("urns", []))
+
+    def _apply_subscribe(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
+        promise = self._take_promise(request)
+        if reply.get("status") != "ok":
+            promise.reject(reply.get("status", "error"))
+            return
+        promise.resolve(True)
+
+    def _watch_connectivity(self) -> None:
+        for link in self.host.links:
+            if link.name in self._watched_links:
+                continue
+            self._watched_links.add(link.name)
+            link.on_transition(self._on_link_transition)
+
+    def watch_new_links(self) -> None:
+        """Re-subscribe after links were attached post-construction."""
+        self._watch_connectivity()
+
+    def _on_link_transition(self, link: Any, is_up: bool) -> None:
+        self.notifications.publish(
+            EventType.CONNECTIVITY_CHANGED,
+            self.sim.now,
+            link=link.name,
+            up=is_up,
+        )

@@ -1,0 +1,198 @@
+"""Conflict detection and type-specific resolution.
+
+"Update conflicts are detected at the server, where Rover attempts to
+reconcile them.  Because Rover can employ type-specific concurrency
+control [Weihl & Liskov], we expect that many conflicts can be resolved
+automatically."  The lineage is Locus (type-specific conflict
+resolving) and Cedar (check-in/check-out).
+
+Detection: an export carries the *base version* the client imported.
+If the server's stored version still equals the base, the export
+commits trivially.  Otherwise the server performs a three-way merge —
+``base_value`` (what the client started from), ``server_value`` (what
+is stored now), ``client_value`` (what the client produced) — using the
+resolver registered for the object's type.  A resolver either produces
+a merged value (conflict *resolved*) or gives up (conflict *reported*
+to the user, Lotus-Notes style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol
+
+
+@dataclass
+class Resolution:
+    """Outcome of a resolution attempt."""
+
+    resolved: bool
+    merged_value: Any = None
+    detail: str = ""
+
+    @staticmethod
+    def merged(value: Any, detail: str = "") -> "Resolution":
+        return Resolution(True, value, detail)
+
+    @staticmethod
+    def unresolved(detail: str) -> "Resolution":
+        return Resolution(False, None, detail)
+
+
+class ConflictResolver(Protocol):
+    """Type-specific three-way merge procedure (runs at the server)."""
+
+    name: str
+
+    def resolve(self, base: Any, server: Any, client: Any) -> Resolution:
+        ...
+
+
+class KeepServer:
+    """Never merge: report every concurrent update (manual repair)."""
+
+    name = "keep-server"
+
+    def resolve(self, base: Any, server: Any, client: Any) -> Resolution:
+        return Resolution.unresolved("concurrent update requires manual repair")
+
+
+class LastWriterWins:
+    """Client overwrite always commits (the weakest useful policy)."""
+
+    name = "last-writer-wins"
+
+    def resolve(self, base: Any, server: Any, client: Any) -> Resolution:
+        return Resolution.merged(client, "client overwrote concurrent update")
+
+
+class AppendMerge:
+    """Merge for append-only lists (mail folders, logs, news).
+
+    Both sides appended items after ``base``; the merge keeps the
+    server's items and appends the client's new ones.  This resolver
+    never fails — append-only types are conflict-free by construction.
+    """
+
+    name = "append-merge"
+
+    def resolve(self, base: Any, server: Any, client: Any) -> Resolution:
+        if not (isinstance(base, list) and isinstance(server, list) and isinstance(client, list)):
+            return Resolution.unresolved("append-merge requires list values")
+        base_len = len(base)
+        if server[:base_len] != base or client[:base_len] != base:
+            return Resolution.unresolved("history rewritten; not append-only")
+        client_new = client[base_len:]
+        merged = list(server)
+        seen = {_item_key(item) for item in merged}
+        for item in client_new:
+            if _item_key(item) not in seen:
+                merged.append(item)
+        return Resolution.merged(merged, f"appended {len(client_new)} client item(s)")
+
+
+def _item_key(item: Any) -> Any:
+    """Hashable identity for dedup during append merges."""
+    if isinstance(item, dict):
+        return tuple(sorted((k, _item_key(v)) for k, v in item.items()))
+    if isinstance(item, list):
+        return tuple(_item_key(v) for v in item)
+    return item
+
+
+class FieldwiseMerge:
+    """Three-way merge for dict-valued objects, field by field.
+
+    A field changed on only one side takes that side's value; a field
+    changed identically on both sides merges trivially; a field changed
+    *differently* on both sides is a real conflict and the merge fails
+    (listing the fields) unless ``fallback`` is provided to arbitrate.
+    """
+
+    name = "fieldwise-merge"
+
+    def __init__(self, fallback: Optional[ConflictResolver] = None) -> None:
+        self.fallback = fallback
+
+    def resolve(self, base: Any, server: Any, client: Any) -> Resolution:
+        if not (isinstance(base, dict) and isinstance(server, dict) and isinstance(client, dict)):
+            return Resolution.unresolved("fieldwise-merge requires dict values")
+        merged: dict = {}
+        clashes: list[str] = []
+        for key in set(base) | set(server) | set(client):
+            base_v = base.get(key)
+            server_v = server.get(key)
+            client_v = client.get(key)
+            server_changed = server_v != base_v or (key in server) != (key in base)
+            client_changed = client_v != base_v or (key in client) != (key in base)
+            if server_changed and client_changed and server_v != client_v:
+                clashes.append(key)
+                continue
+            winner, present = (
+                (client_v, key in client) if client_changed else (server_v, key in server)
+            )
+            if present:
+                merged[key] = winner
+        if clashes:
+            if self.fallback is not None:
+                sub = self.fallback.resolve(
+                    {k: base.get(k) for k in clashes},
+                    {k: server.get(k) for k in clashes},
+                    {k: client.get(k) for k in clashes},
+                )
+                if sub.resolved and isinstance(sub.merged_value, dict):
+                    merged.update(sub.merged_value)
+                    return Resolution.merged(
+                        merged, f"fieldwise + fallback on {sorted(clashes)}"
+                    )
+            return Resolution.unresolved(
+                f"conflicting fields: {sorted(clashes)}"
+            )
+        return Resolution.merged(merged, "fieldwise merge")
+
+
+class ResolverRegistry:
+    """Maps RDO type names to their resolution procedure."""
+
+    def __init__(self, default: Optional[ConflictResolver] = None) -> None:
+        self._resolvers: dict[str, ConflictResolver] = {}
+        self.default = default or KeepServer()
+
+    def register(self, type_name: str, resolver: ConflictResolver) -> None:
+        self._resolvers[type_name] = resolver
+
+    def for_type(self, type_name: str) -> ConflictResolver:
+        return self._resolvers.get(type_name, self.default)
+
+
+@dataclass
+class ConflictReport:
+    """What the server tells the client when resolution fails."""
+
+    urn: str
+    type_name: str
+    base_version: int
+    server_version: int
+    detail: str
+    server_value: Any = None
+
+    def to_wire(self) -> dict:
+        return {
+            "urn": self.urn,
+            "type": self.type_name,
+            "base_version": self.base_version,
+            "server_version": self.server_version,
+            "detail": self.detail,
+            "server_value": self.server_value,
+        }
+
+    @staticmethod
+    def from_wire(wire: dict) -> "ConflictReport":
+        return ConflictReport(
+            urn=wire["urn"],
+            type_name=wire.get("type", ""),
+            base_version=int(wire.get("base_version", 0)),
+            server_version=int(wire.get("server_version", 0)),
+            detail=wire.get("detail", ""),
+            server_value=wire.get("server_value"),
+        )

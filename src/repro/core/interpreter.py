@@ -1,0 +1,294 @@
+"""Safe execution of relocatable code.
+
+Implementing RDOs has "three somewhat conflicting goals: (1) safe
+execution, (2) portability, and (3) efficiency", met in the paper by
+interpreted Tcl with a limited environment (Safe-Tcl style).  Our
+substitute is a *restricted Python* interpreter:
+
+* the RDO's method source is parsed and validated against an AST
+  whitelist — no imports, no class definitions, no dunder/underscore
+  attribute access, no ``exec``-family builtins;
+* a step-budget guard is injected at every function entry and loop
+  iteration, so shipped code cannot spin forever on either host;
+* execution happens under a curated builtins table (pure data-shaping
+  functions only).
+
+This mirrors the safety/portability posture of Safe-Tcl while staying
+in pure Python — and, as the paper notes, the particular form of code
+shipping is orthogonal to the Rover architecture.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Optional
+
+STEP_GUARD_NAME = "__step__"
+
+#: Builtins available to RDO code: pure computation only.
+SAFE_BUILTINS: dict[str, Any] = {
+    "abs": abs,
+    "all": all,
+    "any": any,
+    "bool": bool,
+    "chr": chr,
+    "dict": dict,
+    "divmod": divmod,
+    "enumerate": enumerate,
+    "filter": filter,
+    "float": float,
+    "frozenset": frozenset,
+    "int": int,
+    "isinstance": isinstance,
+    "len": len,
+    "list": list,
+    "map": map,
+    "max": max,
+    "min": min,
+    "ord": ord,
+    "pow": pow,
+    "range": range,
+    "repr": repr,
+    "reversed": reversed,
+    "round": round,
+    "set": set,
+    "sorted": sorted,
+    "str": str,
+    "sum": sum,
+    "tuple": tuple,
+    "zip": zip,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "IndexError": IndexError,
+    "ZeroDivisionError": ZeroDivisionError,
+}
+
+#: Attribute names RDO code may never touch (sandbox-escape vectors).
+FORBIDDEN_ATTRIBUTES = frozenset({"format", "format_map", "mro"})
+
+_ALLOWED_NODES = (
+    ast.Module,
+    ast.FunctionDef,
+    ast.arguments,
+    ast.arg,
+    ast.Lambda,
+    ast.Return,
+    ast.Pass,
+    ast.Break,
+    ast.Continue,
+    ast.If,
+    ast.IfExp,
+    ast.For,
+    ast.While,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Delete,
+    ast.Expr,
+    ast.Call,
+    ast.keyword,
+    ast.Name,
+    ast.Load,
+    ast.Store,
+    ast.Del,
+    ast.Attribute,
+    ast.Constant,
+    ast.BinOp,
+    ast.BoolOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.Subscript,
+    ast.Slice,
+    ast.List,
+    ast.Tuple,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.comprehension,
+    ast.Starred,
+    ast.JoinedStr,
+    ast.FormattedValue,
+    ast.Raise,
+    ast.Try,
+    ast.ExceptHandler,
+    ast.Assert,
+    # operator / comparator leaf nodes
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.BitOr, ast.BitXor, ast.BitAnd, ast.MatMult,
+    ast.And, ast.Or, ast.Not, ast.Invert, ast.UAdd, ast.USub,
+    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+    ast.Is, ast.IsNot, ast.In, ast.NotIn,
+)
+
+
+class CodeValidationError(Exception):
+    """The RDO source uses a construct outside the safe subset."""
+
+
+class ExecutionBudgetExceeded(Exception):
+    """The RDO exhausted its step budget."""
+
+
+class ExecutionError(Exception):
+    """The RDO raised (or hit a runtime fault) during execution."""
+
+
+class _Validator(ast.NodeVisitor):
+    def generic_visit(self, node: ast.AST) -> None:
+        if not isinstance(node, _ALLOWED_NODES):
+            raise CodeValidationError(
+                f"disallowed construct {type(node).__name__} "
+                f"at line {getattr(node, 'lineno', '?')}"
+            )
+        super().generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id.startswith("__"):
+            raise CodeValidationError(
+                f"dunder name {node.id!r} at line {node.lineno}"
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr.startswith("_"):
+            raise CodeValidationError(
+                f"underscore attribute {node.attr!r} at line {node.lineno}"
+            )
+        if node.attr in FORBIDDEN_ATTRIBUTES:
+            raise CodeValidationError(
+                f"forbidden attribute {node.attr!r} at line {node.lineno}"
+            )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.decorator_list:
+            raise CodeValidationError(
+                f"decorators are not allowed (line {node.lineno})"
+            )
+        self.generic_visit(node)
+
+
+class _GuardInjector(ast.NodeTransformer):
+    """Insert ``__step__()`` at function entries and loop bodies."""
+
+    @staticmethod
+    def _guard_call() -> ast.Expr:
+        return ast.Expr(
+            value=ast.Call(
+                func=ast.Name(id=STEP_GUARD_NAME, ctx=ast.Load()),
+                args=[],
+                keywords=[],
+            )
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.FunctionDef:
+        self.generic_visit(node)
+        node.body.insert(0, self._guard_call())
+        return node
+
+    def visit_For(self, node: ast.For) -> ast.For:
+        self.generic_visit(node)
+        node.body.insert(0, self._guard_call())
+        return node
+
+    def visit_While(self, node: ast.While) -> ast.While:
+        self.generic_visit(node)
+        node.body.insert(0, self._guard_call())
+        return node
+
+
+def validate_source(source: str) -> ast.Module:
+    """Parse and validate RDO source; returns the module AST."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise CodeValidationError(f"syntax error: {exc}") from exc
+    _Validator().visit(tree)
+    return tree
+
+
+class SafeInterpreter:
+    """Loads validated RDO source and invokes its methods under budget."""
+
+    def __init__(self, step_budget: int = 100_000) -> None:
+        self.step_budget = step_budget
+        self.steps_used = 0
+
+    def load(self, source: str, extra_env: Optional[dict[str, Any]] = None) -> dict[str, Callable]:
+        """Validate, compile, and return the functions the source defines.
+
+        ``extra_env`` exposes host-provided helpers (already-safe
+        callables) to the code.  All functions returned share one
+        step-budget counter per :meth:`invoke` call.
+        """
+        tree = validate_source(source)
+        tree = _GuardInjector().visit(tree)
+        ast.fix_missing_locations(tree)
+        code = compile(tree, filename="<rdo>", mode="exec")
+
+        counter = {"remaining": 0}
+
+        def step_guard() -> None:
+            counter["remaining"] -= 1
+            if counter["remaining"] < 0:
+                raise ExecutionBudgetExceeded("RDO step budget exhausted")
+
+        env: dict[str, Any] = {
+            "__builtins__": dict(SAFE_BUILTINS),
+            STEP_GUARD_NAME: step_guard,
+        }
+        if extra_env:
+            for name in extra_env:
+                if name.startswith("_"):
+                    raise CodeValidationError(
+                        f"extra_env name {name!r} must not start with underscore"
+                    )
+            env.update(extra_env)
+        exec(code, env)  # populate env with the defined functions
+
+        functions = {
+            name: value
+            for name, value in env.items()
+            if callable(value)
+            and not name.startswith("_")
+            and name not in SAFE_BUILTINS
+            and (not extra_env or name not in extra_env)
+        }
+        # Stash the counter so invoke() can arm the budget.
+        for fn in functions.values():
+            fn.__dict__["_rover_counter"] = counter
+        return functions
+
+    def invoke(
+        self,
+        functions: dict[str, Callable],
+        method: str,
+        *args: Any,
+        budget: Optional[int] = None,
+    ) -> Any:
+        """Call ``method(*args)`` with a fresh step budget.
+
+        Raises :class:`ExecutionError` for faults inside the RDO and
+        :class:`ExecutionBudgetExceeded` when it runs over budget.
+        """
+        fn = functions.get(method)
+        if fn is None:
+            raise ExecutionError(f"RDO has no method {method!r}")
+        counter = fn.__dict__.get("_rover_counter")
+        if counter is not None:
+            counter["remaining"] = budget if budget is not None else self.step_budget
+        try:
+            result = fn(*args)
+        except ExecutionBudgetExceeded:
+            raise
+        except RecursionError as exc:
+            raise ExecutionBudgetExceeded("RDO recursion too deep") from exc
+        except Exception as exc:
+            raise ExecutionError(f"{type(exc).__name__}: {exc}") from exc
+        if counter is not None:
+            self.steps_used = (budget or self.step_budget) - counter["remaining"]
+        return result

@@ -1,0 +1,173 @@
+"""Client-side object cache.
+
+"A mobile host imports objects into its local cache and exports
+updated objects back to their home servers."  Cached copies answer
+invocations locally (the big latency win of RDOs); locally-mutated
+copies are *tentative* until their export commits at the home server.
+
+Eviction is LRU by bytes with one hard rule: a tentative (dirty) entry
+is never evicted — it holds updates that exist nowhere else.  Pinned
+entries (the application said "keep this for disconnection") are also
+protected.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Iterator, Optional
+
+from repro.core.rdo import RDO
+
+
+class CacheStatus(Enum):
+    COMMITTED = "committed"  # matches some server version
+    TENTATIVE = "tentative"  # locally updated; export pending
+
+
+class CacheError(Exception):
+    """Cache misuse (e.g. committing an object that is not cached)."""
+
+
+class CacheEntry:
+    """One cached object plus its replication status."""
+
+    __slots__ = (
+        "rdo",
+        "status",
+        "base_version",
+        "last_used",
+        "pinned",
+        "size",
+        "inserted_at",
+    )
+
+    def __init__(self, rdo: RDO, status: CacheStatus, now: float) -> None:
+        self.rdo = rdo
+        self.status = status
+        self.base_version = rdo.version
+        self.last_used = now
+        self.pinned = False
+        self.size = rdo.size_bytes
+        #: When this copy arrived from the server (freshness anchor).
+        self.inserted_at = now
+
+    @property
+    def tentative(self) -> bool:
+        return self.status is CacheStatus.TENTATIVE
+
+    def refresh_size(self) -> None:
+        self.size = self.rdo.size_bytes
+
+
+class ObjectCache:
+    """LRU-by-bytes cache of imported RDOs."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8 * 1024 * 1024,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._clock = clock or (lambda: 0.0)
+        self._entries: dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(self, urn: str) -> Optional[CacheEntry]:
+        """Fetch and touch; counts as hit/miss."""
+        entry = self._entries.get(urn)
+        if entry is None:
+            self.misses += 1
+            return None
+        entry.last_used = self._clock()
+        self.hits += 1
+        return entry
+
+    def peek(self, urn: str) -> Optional[CacheEntry]:
+        """Fetch without touching LRU state or hit/miss counters."""
+        return self._entries.get(urn)
+
+    def __contains__(self, urn: str) -> bool:
+        return urn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        return iter(list(self._entries.values()))
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(entry.size for entry in self._entries.values())
+
+    # -- updates ----------------------------------------------------------
+
+    def insert(self, rdo: RDO, status: CacheStatus = CacheStatus.COMMITTED) -> list[str]:
+        """Cache an imported object; returns URNs evicted to make room."""
+        entry = CacheEntry(rdo, status, self._clock())
+        self._entries[str(rdo.urn)] = entry
+        return self._evict_to_fit()
+
+    def mark_tentative(self, urn: str) -> None:
+        entry = self._require(urn)
+        entry.status = CacheStatus.TENTATIVE
+        entry.refresh_size()
+
+    def commit(self, urn: str, new_version: int, data: Optional[dict] = None) -> None:
+        """The export was accepted: adopt the server's version (and
+        possibly the server-merged data)."""
+        entry = self._require(urn)
+        if data is not None:
+            entry.rdo.data = data
+        entry.rdo.version = new_version
+        entry.base_version = new_version
+        entry.status = CacheStatus.COMMITTED
+        entry.refresh_size()
+
+    def pin(self, urn: str, pinned: bool = True) -> None:
+        self._require(urn).pinned = pinned
+
+    def invalidate(self, urn: str) -> bool:
+        """Drop an entry regardless of status; returns whether present."""
+        return self._entries.pop(urn, None) is not None
+
+    def _require(self, urn: str) -> CacheEntry:
+        entry = self._entries.get(urn)
+        if entry is None:
+            raise CacheError(f"{urn} is not cached")
+        return entry
+
+    def _evict_to_fit(self) -> list[str]:
+        evicted: list[str] = []
+        if self.used_bytes <= self.capacity_bytes:
+            return evicted
+        victims = sorted(
+            (
+                (entry.last_used, urn)
+                for urn, entry in self._entries.items()
+                if not entry.tentative and not entry.pinned
+            ),
+        )
+        for __, urn in victims:
+            if self.used_bytes <= self.capacity_bytes:
+                break
+            del self._entries[urn]
+            self.evictions += 1
+            evicted.append(urn)
+        return evicted
+
+    def tentative_urns(self) -> list[str]:
+        return [urn for urn, entry in self._entries.items() if entry.tentative]
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.used_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "tentative": len(self.tentative_urns()),
+        }

@@ -1,0 +1,101 @@
+"""Queued RPC records.
+
+A QRPC is a non-blocking remote procedure call that survives
+disconnection: it is logged to stable storage, handed to the network
+scheduler, and its response is delivered through a callback/promise
+whenever connectivity permits.  This module defines the request record,
+its status machine, and the wire format; the queueing itself lives in
+:mod:`repro.core.operation_log` and
+:mod:`repro.net.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.net.scheduler import Priority
+
+
+class Operation(str, Enum):
+    """The remote operations Rover's access manager issues."""
+
+    IMPORT = "import"
+    EXPORT = "export"
+    INVOKE = "invoke"       # execute a method on the server's copy
+    SHIP = "ship"           # ship an RDO to the server and run it there
+    LIST = "list"           # enumerate object names (hoard walking)
+    SUBSCRIBE = "subscribe" # register for invalidation callbacks
+    LOCK = "lock"           # acquire an application-level lease
+    UNLOCK = "unlock"       # release an application-level lease
+
+    def __str__(self) -> str:  # keep wire format compact/readable
+        return self.value
+
+
+class QRPCStatus(Enum):
+    """Lifecycle of a queued request.
+
+    LOGGED -> (scheduler picks it up) -> SENT -> ACKED, with FAILED as
+    the terminal error state after retransmissions are exhausted.
+    """
+
+    LOGGED = "logged"
+    SENT = "sent"
+    ACKED = "acked"
+    FAILED = "failed"
+
+
+#: Service name the Rover server registers for each operation.
+SERVICE_BY_OPERATION = {
+    Operation.IMPORT: "rover.import",
+    Operation.EXPORT: "rover.export",
+    Operation.INVOKE: "rover.invoke",
+    Operation.SHIP: "rover.ship",
+    Operation.LIST: "rover.list",
+    Operation.SUBSCRIBE: "rover.subscribe",
+    Operation.LOCK: "rover.lock",
+    Operation.UNLOCK: "rover.unlock",
+}
+
+
+@dataclass
+class QRPCRequest:
+    """One queued remote procedure call."""
+
+    request_id: str
+    session_id: str
+    operation: Operation
+    urn: str
+    args: dict[str, Any] = field(default_factory=dict)
+    priority: Priority = Priority.DEFAULT
+    created_at: float = 0.0
+    status: QRPCStatus = QRPCStatus.LOGGED
+
+    def to_wire(self) -> dict:
+        return {
+            "id": self.request_id,
+            "session": self.session_id,
+            "op": str(self.operation),
+            "urn": self.urn,
+            "args": self.args,
+            "priority": int(self.priority),
+            "created_at": self.created_at,
+        }
+
+    @staticmethod
+    def from_wire(wire: dict) -> "QRPCRequest":
+        return QRPCRequest(
+            request_id=wire["id"],
+            session_id=wire.get("session", ""),
+            operation=Operation(wire["op"]),
+            urn=wire["urn"],
+            args=wire.get("args", {}),
+            priority=Priority(wire.get("priority", int(Priority.DEFAULT))),
+            created_at=float(wire.get("created_at", 0.0)),
+        )
+
+    @property
+    def service(self) -> str:
+        return SERVICE_BY_OPERATION[self.operation]

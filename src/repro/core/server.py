@@ -1,0 +1,451 @@
+"""The Rover server.
+
+Every object has a *home server* that stores its authoritative copy.
+The server answers four services (the QRPC operations):
+
+* ``rover.import`` — return the current copy of an object;
+* ``rover.export`` — apply a client's tentative update: commit if the
+  base version matches, otherwise attempt type-specific resolution
+  (:mod:`repro.core.conflict`), otherwise report a conflict;
+* ``rover.invoke`` — execute an RDO method against the authoritative
+  copy (function shipping toward the server);
+* ``rover.ship`` — load a client-shipped RDO and run it server-side
+  with read access to the object store (the paper's agent-style use:
+  e.g. filter a mail folder at the server instead of importing it).
+
+Mutating operations are applied **at most once**: the server remembers
+the reply for every request id it has applied and returns the cached
+reply on redelivery, so QRPC retransmissions are safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.conflict import ConflictReport, ResolverRegistry
+from repro.core.interpreter import SafeInterpreter
+from repro.core.rdo import RDO, ExecutionCostModel
+from repro.net.simnet import Address
+from repro.net.transport import DelayedReply, Transport
+from repro.sim import Simulator
+from repro.storage.kvstore import KVStore
+
+
+class RoverServer:
+    """Home server for one authority."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        authority: str,
+        resolvers: Optional[ResolverRegistry] = None,
+        cost_model: Optional[ExecutionCostModel] = None,
+        history_limit: int = 32,
+        step_budget: int = 200_000,
+        auth_tokens: Optional[set[str]] = None,
+    ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.authority = authority
+        self.store = KVStore()
+        self.resolvers = resolvers or ResolverRegistry()
+        # Servers are workstations: markedly faster than the mobile
+        # client (the paper's DEC vs. ThinkPad split).
+        self.cost_model = cost_model or ExecutionCostModel(
+            base_s=0.0004, per_step_s=0.0001
+        )
+        self.interpreter = SafeInterpreter(step_budget=step_budget)
+        #: Accepted authentication tokens; ``None`` leaves the server
+        #: open.  The paper's server is "a secure setuid application
+        #: that authenticates requests from client applications" — we
+        #: model the authentication decision, not the cryptography.
+        self.auth_tokens = auth_tokens
+        self.auth_rejections = 0
+        self.history_limit = history_limit
+        self._history: dict[str, list[tuple[int, Any]]] = {}
+        self._applied: dict[str, dict] = {}
+        self.imports_served = 0
+        self.exports_committed = 0
+        self.exports_resolved = 0
+        self.exports_conflicted = 0
+        self.invokes_served = 0
+        self.ships_served = 0
+        self.duplicates_suppressed = 0
+        #: (host_name, prefix) subscriptions for invalidation callbacks.
+        self._subscriptions: dict[str, set[str]] = {}
+        self.invalidations_sent = 0
+        transport.register("rover.import", self._on_import)
+        transport.register("rover.export", self._on_export)
+        transport.register("rover.invoke", self._on_invoke)
+        transport.register("rover.ship", self._on_ship)
+        transport.register("rover.list", self._on_list)
+        transport.register("rover.subscribe", self._on_subscribe)
+        transport.register("rover.batch", self._on_batch)
+        #: urn -> (holder session id, lease expiry time)
+        self._locks: dict[str, tuple[str, float]] = {}
+        self.locks_granted = 0
+        self.locks_denied = 0
+        transport.register("rover.lock", self._on_lock)
+        transport.register("rover.unlock", self._on_unlock)
+
+    # -- population ---------------------------------------------------------
+
+    def put_object(self, rdo: RDO) -> int:
+        """Install/replace an object (server-side administration)."""
+        key = str(rdo.urn)
+        version = self.store.put(key, rdo.to_wire())
+        stored = self.store.get_value(key)
+        stored["version"] = version
+        self._remember(key, version, stored["data"])
+        return version
+
+    def snapshot(self) -> dict:
+        """Durable server state: the object store and version history.
+
+        Deliberately EXCLUDES the at-most-once applied-reply cache —
+        that is volatile, so a crash/restart forgets it.  Correctness
+        then rests on version-stamp detection: a retransmitted export
+        whose update already committed arrives with a stale base
+        version and goes through the type-specific resolver, which for
+        well-formed types merges it idempotently (see the
+        crash-restart tests).
+        """
+        from repro.net.message import marshal, unmarshal
+
+        return unmarshal(
+            marshal(
+                {
+                    "store": {k: list(self.store.get(k)) for k in self.store.keys()},
+                    "history": {k: list(v) for k, v in self._history.items()},
+                }
+            )
+        )
+
+    def restore(self, snapshot: dict) -> None:
+        """Reload durable state after a simulated server restart."""
+        self.store.restore(
+            {key: (value, version) for key, (value, version) in snapshot["store"].items()}
+        )
+        self._history = {
+            key: [(version, data) for version, data in entries]
+            for key, entries in snapshot["history"].items()
+        }
+        self._applied.clear()  # volatile: lost in the crash
+        self._locks.clear()    # leases do not survive a restart
+
+    def get_object(self, urn: str) -> Optional[RDO]:
+        wire = self.store.get_value(urn)
+        if wire is None:
+            return None
+        rdo = RDO.from_wire(wire)
+        rdo.version = self.store.version(urn) or rdo.version
+        return rdo
+
+    def _remember(self, urn: str, version: int, data: Any) -> None:
+        from repro.net.message import marshal, unmarshal
+
+        history = self._history.setdefault(urn, [])
+        history.append((version, unmarshal(marshal(data))))
+        if len(history) > self.history_limit:
+            del history[: len(history) - self.history_limit]
+
+    def _base_data(self, urn: str, version: int) -> Optional[Any]:
+        for stored_version, data in self._history.get(urn, []):
+            if stored_version == version:
+                return data
+        return None
+
+    # -- at-most-once -------------------------------------------------------
+
+    def _cached_reply(self, request_id: Optional[str]) -> Optional[dict]:
+        if request_id is None:
+            return None
+        reply = self._applied.get(request_id)
+        if reply is not None:
+            self.duplicates_suppressed += 1
+        return reply
+
+    def _record_reply(self, request_id: Optional[str], reply: dict) -> dict:
+        if request_id is not None:
+            self._applied[request_id] = reply
+        return reply
+
+    def _authorized(self, body: Any) -> bool:
+        if self.auth_tokens is None:
+            return True
+        ok = isinstance(body, dict) and body.get("auth") in self.auth_tokens
+        if not ok:
+            self.auth_rejections += 1
+        return ok
+
+    # -- services -------------------------------------------------------------
+
+    def _on_import(self, body: Any, source: Address) -> Any:
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        urn = body["urn"]
+        wire = self.store.get_value(urn)
+        if wire is None:
+            return {"status": "not-found", "urn": urn}
+        self.imports_served += 1
+        wire = dict(wire)
+        wire["version"] = self.store.version(urn)
+        return {"status": "ok", "rdo": wire, "version": wire["version"]}
+
+    def _on_export(self, body: Any, source: Address) -> Any:
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        request_id = body.get("request_id")
+        cached = self._cached_reply(request_id)
+        if cached is not None:
+            return cached
+        urn = body["urn"]
+        base_version = int(body.get("base_version", 0))
+        client_data = body.get("data")
+        wire = self.store.get_value(urn)
+        if wire is None:
+            return self._record_reply(request_id, {"status": "not-found", "urn": urn})
+        holder = self._lock_holder(urn)
+        if holder is not None and body.get("session", "") != holder:
+            # Another session holds the application-level lock.
+            return self._record_reply(
+                request_id, {"status": "locked", "holder": holder}
+            )
+        current_version = self.store.version(urn) or 0
+
+        if base_version == current_version:
+            new_wire = dict(wire)
+            new_wire["data"] = client_data
+            new_version = self.store.put(urn, new_wire)
+            self.store.get_value(urn)["version"] = new_version
+            self._remember(urn, new_version, client_data)
+            self.exports_committed += 1
+            self._notify_subscribers(urn, new_version, except_host=source[0])
+            return self._record_reply(
+                request_id, {"status": "committed", "version": new_version}
+            )
+
+        # Concurrent update: attempt type-specific resolution.
+        type_name = wire.get("type", "")
+        resolver = self.resolvers.for_type(type_name)
+        base_data = self._base_data(urn, base_version)
+        resolution = resolver.resolve(base_data, wire.get("data"), client_data)
+        if resolution.resolved:
+            new_wire = dict(wire)
+            new_wire["data"] = resolution.merged_value
+            new_version = self.store.put(urn, new_wire)
+            self.store.get_value(urn)["version"] = new_version
+            self._remember(urn, new_version, resolution.merged_value)
+            self.exports_resolved += 1
+            self._notify_subscribers(urn, new_version, except_host=source[0])
+            return self._record_reply(
+                request_id,
+                {
+                    "status": "resolved",
+                    "version": new_version,
+                    "value": resolution.merged_value,
+                    "detail": resolution.detail,
+                },
+            )
+
+        self.exports_conflicted += 1
+        report = ConflictReport(
+            urn=urn,
+            type_name=type_name,
+            base_version=base_version,
+            server_version=current_version,
+            detail=resolution.detail,
+            server_value=wire.get("data"),
+        )
+        return self._record_reply(
+            request_id, {"status": "conflict", "conflict": report.to_wire()}
+        )
+
+    def _on_invoke(self, body: Any, source: Address) -> Any:
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        request_id = body.get("request_id")
+        cached = self._cached_reply(request_id)
+        if cached is not None:
+            return cached
+        urn = body["urn"]
+        method = body["method"]
+        args = body.get("args", [])
+        rdo = self.get_object(urn)
+        if rdo is None:
+            return self._record_reply(request_id, {"status": "not-found", "urn": urn})
+        result, steps = rdo.invoke(self.interpreter, method, *args)
+        self.invokes_served += 1
+        mutates = rdo.interface.mutates(method)
+        reply: dict = {"status": "ok", "result": result}
+        if mutates:
+            wire = rdo.to_wire()
+            new_version = self.store.put(urn, wire)
+            self.store.get_value(urn)["version"] = new_version
+            self._remember(urn, new_version, wire["data"])
+            reply["version"] = new_version
+            self._notify_subscribers(urn, new_version, except_host=source[0])
+        self._record_reply(request_id, reply)
+        return DelayedReply(self.cost_model.invoke_time(steps), reply)
+
+    def _on_ship(self, body: Any, source: Address) -> Any:
+        """Execute a shipped RDO server-side.
+
+        The shipped code gets a read-only view of the store via the
+        ``lookup`` helper; it returns a (marshallable) result that
+        travels back in one reply — the whole point being that N
+        lookups here replace N QRPCs over a slow link.
+        """
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        request_id = body.get("request_id")
+        cached = self._cached_reply(request_id)
+        if cached is not None:
+            return cached
+        code = body.get("code", "")
+        method = body.get("method", "main")
+        args = body.get("args", [])
+
+        def lookup(urn: str) -> Any:
+            wire = self.store.get_value(urn)
+            return None if wire is None else wire.get("data")
+
+        def list_objects(prefix: str = "") -> list:
+            return sorted(key for key in self.store.keys() if key.startswith(prefix))
+
+        functions = self.interpreter.load(
+            code, extra_env={"lookup": lookup, "objects": list_objects}
+        )
+        result = self.interpreter.invoke(functions, method, *args)
+        steps = self.interpreter.steps_used
+        self.ships_served += 1
+        reply = {"status": "ok", "result": result}
+        self._record_reply(request_id, reply)
+        return DelayedReply(self.cost_model.invoke_time(steps), reply)
+
+    def _on_batch(self, body: Any, source: Address) -> Any:
+        """Execute several client requests from one wire exchange.
+
+        The batching channel-use optimization: a reconnecting client
+        drains its queued log with far fewer round trips.  Each member
+        dispatches through the normal service table, so at-most-once
+        and conflict handling apply per member; compute charges
+        (DelayedReply) accumulate into one deferred batch reply.
+        """
+        replies = []
+        total_delay = 0.0
+        for request in body.get("requests", []):
+            ok, reply_body = self.transport.handle_request(
+                request.get("service", ""), request.get("body"), source
+            )
+            if isinstance(reply_body, DelayedReply):
+                total_delay += reply_body.delay_s
+                reply_body = reply_body.body
+            replies.append({"ok": ok, "body": reply_body})
+        result = {"replies": replies}
+        if total_delay > 0:
+            return DelayedReply(total_delay, result)
+        return result
+
+    # -- application-level locks ----------------------------------------------
+
+    def _lock_holder(self, urn: str) -> Optional[str]:
+        """Current lease holder, expiring stale leases lazily."""
+        entry = self._locks.get(urn)
+        if entry is None:
+            return None
+        holder, expires = entry
+        if self.sim.now >= expires:
+            del self._locks[urn]
+            return None
+        return holder
+
+    def _on_lock(self, body: Any, source: Address) -> Any:
+        """Acquire an advisory lease on an object.
+
+        The paper expects applications "structured as a collection of
+        independent atomic actions, where the importing action sets an
+        appropriate application-level lock" — the check-out half of
+        Cedar's check-in/check-out model.  Leases expire so a client
+        that disconnects forever cannot wedge the object.
+        """
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        urn = body["urn"]
+        session = body.get("session", "")
+        lease_s = float(body.get("lease_s", 300.0))
+        holder = self._lock_holder(urn)
+        if holder is not None and holder != session:
+            self.locks_denied += 1
+            return {"status": "locked", "holder": holder}
+        self._locks[urn] = (session, self.sim.now + lease_s)
+        self.locks_granted += 1
+        return {"status": "ok", "expires_in_s": lease_s}
+
+    def _on_unlock(self, body: Any, source: Address) -> Any:
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        urn = body["urn"]
+        session = body.get("session", "")
+        holder = self._lock_holder(urn)
+        if holder is not None and holder != session:
+            return {"status": "not-holder", "holder": holder}
+        self._locks.pop(urn, None)
+        return {"status": "ok"}
+
+    def _on_list(self, body: Any, source: Address) -> Any:
+        """Enumerate object names under a prefix (hoard-walk support)."""
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        prefix = body.get("prefix", "")
+        names = sorted(key for key in self.store.keys() if key.startswith(prefix))
+        return {"status": "ok", "urns": names}
+
+    def _on_subscribe(self, body: Any, source: Address) -> Any:
+        """Register for invalidation callbacks on a URN prefix.
+
+        The paper offers server callbacks as the alternative to
+        periodic polling for shrinking the stale-import window.
+        Callbacks are best-effort: they are dropped silently when no
+        link to the subscriber is up (a disconnected client learns of
+        changes by re-importing, as the paper intends).
+        """
+        if not self._authorized(body):
+            return {"status": "unauthorized"}
+        host_name = source[0]
+        prefix = body.get("prefix", "")
+        self._subscriptions.setdefault(host_name, set()).add(prefix)
+        return {"status": "ok"}
+
+    def _notify_subscribers(
+        self, urn: str, version: int, except_host: Optional[str] = None
+    ) -> None:
+        from repro.net.simnet import LinkDown
+
+        # Push callbacks need the simulated network; in live mode
+        # clients poll (import with max_age_s) instead.
+        network = getattr(getattr(self.transport, "host", None), "network", None)
+        if network is None:
+            return
+        for host_name, prefixes in self._subscriptions.items():
+            if host_name == except_host:
+                continue  # the writer already holds the new version
+            if not any(urn.startswith(prefix) for prefix in prefixes):
+                continue
+            host = self.transport.host.network.hosts.get(host_name)
+            if host is None:
+                continue
+            try:
+                self.transport.send(
+                    host,
+                    INVALIDATION_PORT,
+                    {"kind": "invalidate", "urn": urn, "version": version},
+                )
+                self.invalidations_sent += 1
+            except LinkDown:
+                pass  # best-effort; the client will poll or re-import
+
+
+#: Port clients listen on for server-initiated invalidations.
+INVALIDATION_PORT = 531

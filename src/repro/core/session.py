@@ -1,0 +1,100 @@
+"""Sessions and Bayou-style session guarantees.
+
+Rover borrows session guarantees for weakly-consistent replicated data
+from the Bayou project (Terry et al.): within a session,
+
+* **read your writes** — an import must reflect every version this
+  session has successfully exported, and
+* **monotonic reads** — an import must never return an older version
+  than one the session has already seen.
+
+With a single home server per object the stored version only grows, so
+a violation can only come from a stale or duplicated response; the
+access manager uses :meth:`Session.acceptable` to filter those out and
+re-request.  Applications can also opt a session into accepting or
+rejecting *tentative* local data when importing from the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Session:
+    """A client application's session with the toolkit."""
+
+    def __init__(
+        self,
+        session_id: str,
+        accept_tentative: bool = True,
+        require_guarantees: bool = True,
+    ) -> None:
+        self.session_id = session_id
+        #: Whether imports may be satisfied by tentative cached copies.
+        self.accept_tentative = accept_tentative
+        self.require_guarantees = require_guarantees
+        self._read_versions: dict[str, int] = {}
+        self._write_versions: dict[str, int] = {}
+
+    # -- guarantee bookkeeping ---------------------------------------------
+
+    def record_read(self, urn: str, version: int) -> None:
+        current = self._read_versions.get(urn, -1)
+        if version > current:
+            self._read_versions[urn] = version
+
+    def record_write(self, urn: str, version: int) -> None:
+        current = self._write_versions.get(urn, -1)
+        if version > current:
+            self._write_versions[urn] = version
+
+    def min_acceptable_version(self, urn: str) -> int:
+        """Lowest version an import may return without breaking guarantees."""
+        return max(
+            self._read_versions.get(urn, 0),
+            self._write_versions.get(urn, 0),
+        )
+
+    def acceptable(self, urn: str, version: int) -> bool:
+        """Would accepting ``version`` preserve the session guarantees?"""
+        if not self.require_guarantees:
+            return True
+        return version >= self.min_acceptable_version(urn)
+
+    def reads(self) -> dict[str, int]:
+        return dict(self._read_versions)
+
+    def writes(self) -> dict[str, int]:
+        return dict(self._write_versions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Session {self.session_id!r}>"
+
+
+class SessionRegistry:
+    """Per-client session table with deterministic id assignment."""
+
+    def __init__(self, client_name: str) -> None:
+        self.client_name = client_name
+        self._sessions: dict[str, Session] = {}
+        self._next = 0
+
+    def create(
+        self,
+        name: Optional[str] = None,
+        accept_tentative: bool = True,
+        require_guarantees: bool = True,
+    ) -> Session:
+        session_id = name or f"{self.client_name}/session{self._next}"
+        self._next += 1
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already exists")
+        session = Session(session_id, accept_tentative, require_guarantees)
+        self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

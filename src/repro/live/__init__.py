@@ -1,0 +1,40 @@
+"""Live mode: the same toolkit over real sockets and wall-clock time.
+
+Everything under :mod:`repro.core` is written against three narrow
+interfaces — a clock (``now`` / ``schedule`` / ``run_until``), a
+transport (``register`` / ``call`` / ``handle_request``), and a
+scheduler (``submit`` / ``reprioritize`` / ``cancel``).  The simulation
+substrate implements them in virtual time; this package implements them
+over **real localhost TCP sockets** and a real-time event loop, so the
+*identical* access-manager and server code that reproduces the paper's
+tables also runs as an actual networked system:
+
+* :mod:`repro.live.clock` — a single-threaded event-loop clock: every
+  callback (timer or inbound message) executes on one loop thread,
+  preserving the no-data-races discipline the simulator guarantees;
+* :mod:`repro.live.transport` — length-prefixed marshalled frames over
+  TCP, with the same service table and request/reply semantics as the
+  simulated transport;
+* :mod:`repro.live.scheduler` — a queue-draining scheduler with
+  priorities, retransmission, and backoff, detecting connectivity by
+  socket success/failure;
+* :mod:`repro.live.node` — one-call construction of live servers and
+  clients wired to the unmodified :class:`~repro.core.server.RoverServer`
+  and :class:`~repro.core.access_manager.AccessManager`.
+
+Scope: a deployment/demo vehicle, not the measurement substrate — the
+experiments stay on the simulator where timing is exact.
+"""
+
+from repro.live.clock import RealTimeClock
+from repro.live.node import LiveClient, LiveServer
+from repro.live.scheduler import LiveScheduler
+from repro.live.transport import LiveTransport
+
+__all__ = [
+    "LiveClient",
+    "LiveServer",
+    "LiveScheduler",
+    "LiveTransport",
+    "RealTimeClock",
+]

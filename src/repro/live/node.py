@@ -1,0 +1,100 @@
+"""Live Rover nodes: unmodified toolkit over real sockets.
+
+:class:`LiveServer` wraps the *same* :class:`~repro.core.server.RoverServer`
+used in simulation; :class:`LiveClient` wraps the same
+:class:`~repro.core.access_manager.AccessManager`.  Only the substrate
+(clock, transport, scheduler) differs.
+
+Limitations of live mode (by design — it is a deployment vehicle, not
+the measurement substrate): no SMTP relay route, no server-push
+invalidations (poll with ``max_age_s`` instead), and timing assertions
+belong on the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.access_manager import AccessManager
+from repro.core.conflict import ResolverRegistry
+from repro.core.notification import NotificationCenter
+from repro.core.object_cache import ObjectCache
+from repro.core.operation_log import OperationLog
+from repro.core.server import RoverServer
+from repro.live.clock import RealTimeClock
+from repro.live.scheduler import LiveScheduler
+from repro.live.transport import LiveAddress, LiveTransport
+from repro.storage.stable_log import FlushModel, StableLog
+
+
+class LiveServer:
+    """A real listening Rover home server."""
+
+    def __init__(
+        self,
+        authority: str,
+        bind_host: str = "127.0.0.1",
+        port: int = 0,
+        resolvers: Optional[ResolverRegistry] = None,
+        clock: Optional[RealTimeClock] = None,
+    ) -> None:
+        self.clock = clock or RealTimeClock(name=f"{authority}-loop")
+        self._owns_clock = clock is None
+        self.transport = LiveTransport(self.clock, authority, bind_host, port)
+        self.server = RoverServer(
+            self.clock, self.transport, authority, resolvers=resolvers
+        )
+
+    @property
+    def address(self) -> LiveAddress:
+        return self.transport.address
+
+    def put_object(self, rdo) -> int:
+        return self.server.put_object(rdo)
+
+    def get_object(self, urn: str):
+        return self.server.get_object(urn)
+
+    def close(self) -> None:
+        self.transport.close()
+        if self._owns_clock:
+            self.clock.close()
+
+
+class LiveClient:
+    """A real Rover mobile client."""
+
+    def __init__(
+        self,
+        name: str,
+        servers: dict[str, LiveAddress],
+        clock: Optional[RealTimeClock] = None,
+        auth_token: str = "",
+        call_timeout: float = 10.0,
+        max_attempts: int = 8,
+    ) -> None:
+        self.clock = clock or RealTimeClock(name=f"{name}-loop")
+        self._owns_clock = clock is None
+        self.transport = LiveTransport(self.clock, name)
+        self.scheduler = LiveScheduler(
+            self.clock,
+            self.transport,
+            call_timeout=call_timeout,
+            max_attempts=max_attempts,
+        )
+        self.access = AccessManager(
+            self.clock,
+            self.scheduler,
+            servers=dict(servers),
+            cache=ObjectCache(clock=lambda: self.clock.now),
+            # Real wall-clock flushes would slow the demo; the log is
+            # still real (recoverable) — only the *cost model* is free.
+            log=OperationLog(StableLog(flush_model=FlushModel.free())),
+            notifications=NotificationCenter(),
+            auth_token=auth_token,
+        )
+
+    def close(self) -> None:
+        self.transport.close()
+        if self._owns_clock:
+            self.clock.close()

@@ -1,0 +1,200 @@
+"""Queue-draining scheduler over the live transport.
+
+Implements the scheduler interface the access manager consumes
+(``submit`` / ``reprioritize`` / ``cancel`` / ``idle`` / ``host``) with
+the same semantics as :class:`~repro.net.scheduler.NetworkScheduler`:
+priority queues, bounded in-flight window, exponential-backoff
+retransmission, terminal failure after ``max_attempts``.  Connectivity
+is whatever the sockets say — a refused or timed-out connection counts
+as "link down" and backs off; queued work survives until the peer
+returns (the QRPC story on a real network).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.live.clock import RealTimeClock
+from repro.live.transport import LiveAddress, LiveTransport
+from repro.net.scheduler import Priority
+from repro.net.transport import RpcError
+
+
+class _HostShim:
+    """Just enough Host for the access manager (name + link list)."""
+
+    __slots__ = ("name", "links")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.links: list = []  # no simulated links to watch in live mode
+
+
+class LiveQueuedMessage:
+    """A queued/in-flight live request."""
+
+    __slots__ = (
+        "seq", "dst", "service", "body", "priority",
+        "on_reply", "on_failed", "attempts", "state",
+    )
+
+    def __init__(self, seq, dst, service, body, priority, on_reply, on_failed):
+        self.seq = seq
+        self.dst = dst
+        self.service = service
+        self.body = body
+        self.priority = priority
+        self.on_reply = on_reply
+        self.on_failed = on_failed
+        self.attempts = 0
+        self.state = "queued"
+
+    def sort_key(self) -> tuple[int, int]:
+        return (int(self.priority), self.seq)
+
+
+class LiveScheduler:
+    """Priority QRPC drainer over real sockets."""
+
+    def __init__(
+        self,
+        clock: RealTimeClock,
+        transport: LiveTransport,
+        max_inflight: int = 4,
+        max_attempts: int = 8,
+        base_backoff: float = 0.2,
+        max_backoff: float = 10.0,
+        call_timeout: float = 10.0,
+    ) -> None:
+        self.sim = clock  # name kept for interface parity
+        self.clock = clock
+        self.transport = transport
+        self.host = _HostShim(transport.name)
+        self.max_inflight = max_inflight
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.call_timeout = call_timeout
+        self._heap: list[tuple[tuple[int, int], LiveQueuedMessage]] = []
+        self._seq = 0
+        self._inflight = 0
+        self.delivered = 0
+        self.failed = 0
+        self.retransmissions = 0
+
+    # All mutation happens on the clock's loop thread: submit() posts.
+
+    def submit(
+        self,
+        dst: LiveAddress,
+        service: str,
+        body: Any,
+        priority: Priority = Priority.DEFAULT,
+        on_reply: Optional[Callable[[Any], None]] = None,
+        on_failed: Optional[Callable[[str], None]] = None,
+        size_hint: int = 0,
+        route_preference: Any = None,
+    ) -> LiveQueuedMessage:
+        message = LiveQueuedMessage(
+            seq=self._seq,
+            dst=dst,
+            service=service,
+            body=body,
+            priority=priority,
+            on_reply=on_reply or (lambda body: None),
+            on_failed=on_failed or (lambda reason: None),
+        )
+        self._seq += 1
+
+        def enqueue() -> None:
+            heapq.heappush(self._heap, (message.sort_key(), message))
+            self._pump()
+
+        self.clock.post(enqueue)
+        return message
+
+    def cancel(self, message: LiveQueuedMessage) -> bool:
+        if message.state != "queued":
+            return False
+        message.state = "cancelled"
+        return True
+
+    def reprioritize(self, message: LiveQueuedMessage, priority: Priority) -> bool:
+        if message.state != "queued":
+            return False
+        message.priority = priority
+
+        def reheap() -> None:
+            self._heap = [(m.sort_key(), m) for __, m in self._heap if m.state == "queued"]
+            heapq.heapify(self._heap)
+            self._pump()
+
+        self.clock.post(reheap)
+        return True
+
+    def queue_length(self) -> int:
+        return sum(1 for __, m in self._heap if m.state == "queued")
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def idle(self) -> bool:
+        return self._inflight == 0 and self.queue_length() == 0
+
+    # -- internals (loop thread only) -----------------------------------------
+
+    def _pump(self) -> None:
+        while self._inflight < self.max_inflight and self._heap:
+            __, message = heapq.heappop(self._heap)
+            if message.state != "queued":
+                continue
+            self._dispatch(message)
+
+    def _dispatch(self, message: LiveQueuedMessage) -> None:
+        message.state = "inflight"
+        message.attempts += 1
+        if message.attempts > 1:
+            self.retransmissions += 1
+        self._inflight += 1
+
+        def on_reply(body: Any) -> None:
+            if message.state != "inflight":
+                return
+            message.state = "done"
+            self._inflight -= 1
+            self.delivered += 1
+            message.on_reply(body)
+            self._pump()
+
+        def on_error(error: RpcError) -> None:
+            if message.state != "inflight":
+                return
+            self._inflight -= 1
+            if message.attempts >= self.max_attempts:
+                message.state = "done"
+                self.failed += 1
+                message.on_failed(str(error))
+            else:
+                message.state = "queued"
+                backoff = min(
+                    self.max_backoff, self.base_backoff * (2 ** (message.attempts - 1))
+                )
+                self.clock.schedule(backoff, self._requeue, message)
+            self._pump()
+
+        self.transport.call(
+            message.dst,
+            message.service,
+            message.body,
+            on_reply=on_reply,
+            on_error=on_error,
+            timeout=self.call_timeout,
+        )
+
+    def _requeue(self, message: LiveQueuedMessage) -> None:
+        if message.state != "queued":
+            return
+        heapq.heappush(self._heap, (message.sort_key(), message))
+        self._pump()

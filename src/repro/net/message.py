@@ -1,0 +1,190 @@
+"""Compact deterministic marshalling.
+
+Bandwidth simulation needs an honest byte count for every message, so
+instead of pickling we encode a small set of value types into a compact
+tagged binary format.  The encoding is:
+
+* deterministic — the same value always encodes to the same bytes
+  (dict entries are written in insertion order, which our protocols
+  keep stable), and
+* self-describing — ``unmarshal(marshal(x)) == x`` including the
+  list/tuple distinction.
+
+Supported types: ``None``, ``bool``, ``int`` (arbitrary precision),
+``float``, ``str``, ``bytes``, ``list``, ``tuple``, ``dict``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+
+
+class MarshalError(Exception):
+    """Raised for unsupported values or corrupt encodings."""
+
+
+#: Maximum container nesting; beyond this the encoding is rejected
+#: rather than risking interpreter recursion limits on hostile input.
+MAX_DEPTH = 64
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise MarshalError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 1000:
+            raise MarshalError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode(value: Any, out: bytearray, depth: int = 0) -> None:
+    if depth > MAX_DEPTH:
+        raise MarshalError(f"nesting deeper than {MAX_DEPTH} levels")
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        out += _TAG_INT
+        _write_uvarint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        _write_uvarint(out, len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        _write_uvarint(out, len(value))
+        out += bytes(value)
+    elif isinstance(value, list):
+        out += _TAG_LIST
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif isinstance(value, tuple):
+        out += _TAG_TUPLE
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        _write_uvarint(out, len(value))
+        for key, item in value.items():
+            _encode(key, out, depth + 1)
+            _encode(item, out, depth + 1)
+    else:
+        raise MarshalError(f"cannot marshal {type(value).__name__}: {value!r}")
+
+
+def _decode(data: bytes, pos: int, depth: int = 0) -> tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise MarshalError(f"nesting deeper than {MAX_DEPTH} levels")
+    if pos >= len(data):
+        raise MarshalError("truncated message")
+    tag = data[pos : pos + 1]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        raw, pos = _read_uvarint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(data):
+            raise MarshalError("truncated float")
+        return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag == _TAG_STR:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise MarshalError("truncated string")
+        return data[pos : pos + length].decode("utf-8"), pos + length
+    if tag == _TAG_BYTES:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise MarshalError("truncated bytes")
+        return data[pos : pos + length], pos + length
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        count, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode(data, pos, depth + 1)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), pos
+    if tag == _TAG_DICT:
+        count, pos = _read_uvarint(data, pos)
+        result: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode(data, pos, depth + 1)
+            value, pos = _decode(data, pos, depth + 1)
+            result[key] = value
+        return result, pos
+    raise MarshalError(f"unknown tag {tag!r} at offset {pos - 1}")
+
+
+def marshal(value: Any) -> bytes:
+    """Encode ``value`` to bytes."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def unmarshal(data: bytes) -> Any:
+    """Decode bytes produced by :func:`marshal`.
+
+    Raises :class:`MarshalError` on trailing garbage or corruption.
+    """
+    value, pos = _decode(data, 0)
+    if pos != len(data):
+        raise MarshalError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+def marshalled_size(value: Any) -> int:
+    """Size in bytes of the encoded value (what a link would carry)."""
+    return len(marshal(value))

@@ -1,0 +1,526 @@
+"""Rover's network scheduler.
+
+The paper (section 5.3): *"The implementation of the network scheduler
+has several queues for different priorities and it chooses a network
+interface based on availability and quality."*  Messages may travel
+over connection-based routes (the direct link) or connectionless queued
+routes (the SMTP relay), chosen per message by availability and the
+requested quality of service.
+
+This module implements exactly that:
+
+* several priority queues (:class:`Priority`), FIFO within a priority;
+* a pluggable set of :class:`Route` objects; the scheduler picks the
+  best *available* route per message, preferring higher quality;
+* bounded in-flight window, retransmission with exponential backoff,
+  and terminal failure reporting after ``max_attempts``;
+* wake-ups on link up/down transitions so queued traffic drains the
+  moment connectivity returns — the heart of QRPC's "requests and
+  responses are exchanged upon network reconnection".
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import IntEnum
+from typing import Any, Callable, Optional
+
+from repro.net.simnet import Host, Link
+from repro.net.transport import RpcError, Transport
+from repro.sim import Simulator
+
+
+class Priority(IntEnum):
+    """QRPC priorities; lower value drains first."""
+
+    FOREGROUND = 0  # the user is waiting on this (e.g. a clicked page)
+    DEFAULT = 1
+    BACKGROUND = 2  # prefetch / bulk traffic
+
+
+class RouteKind(IntEnum):
+    """Connection-based vs connectionless queued carriers."""
+
+    DIRECT = 0   # connection-based (TCP-like over a live link)
+    QUEUED = 1   # connectionless store-and-forward (SMTP-like)
+
+
+class Route:
+    """A way to move a request envelope to a destination host."""
+
+    #: Relative quality; the scheduler prefers the highest available.
+    quality: float = 0.0
+    name: str = "route"
+    kind: RouteKind = RouteKind.DIRECT
+
+    def available(self, dst: Host) -> bool:
+        raise NotImplementedError
+
+    def send(
+        self,
+        dst: Host,
+        service: str,
+        body: Any,
+        on_reply: Callable[[Any], None],
+        on_error: Callable[[str], None],
+        on_accepted: Callable[[], None],
+    ) -> None:
+        """Attempt one delivery.
+
+        Eventually either ``on_reply`` or ``on_error`` fires (exactly
+        once).  A store-and-forward route additionally fires
+        ``on_accepted`` when it has taken custody of the message (e.g.
+        the relay spooled it) — from that point the scheduler frees the
+        in-flight window slot even though the reply is still pending,
+        because the channel is no longer occupied by this message.
+        Connection-based routes never call ``on_accepted``.
+        """
+        raise NotImplementedError
+
+
+class DirectRoute(Route):
+    """Connection-based delivery over the best currently-up link."""
+
+    name = "direct"
+
+    #: Generous default: a 128 KB object over a 2.4 Kbit/s modem takes
+    #: ~450 s; timeouts exist to detect lost replies, not to police
+    #: slow links, so err well above the worst legitimate transfer.
+    def __init__(self, transport: Transport, timeout: float = 600.0) -> None:
+        self.transport = transport
+        self.timeout = timeout
+
+    def available(self, dst: Host) -> bool:
+        return self.transport.best_link(dst) is not None
+
+    @property
+    def quality(self) -> float:  # type: ignore[override]
+        # Quality tracks the best attached link; refined per-message in send().
+        best = max(
+            (link.spec.bandwidth_bps for link in self.transport.host.links if link.is_up),
+            default=0.0,
+        )
+        return best
+
+    def send(
+        self,
+        dst: Host,
+        service: str,
+        body: Any,
+        on_reply: Callable[[Any], None],
+        on_error: Callable[[str], None],
+        on_accepted: Callable[[], None],
+    ) -> None:
+        try:
+            self.transport.call(
+                dst,
+                service,
+                body,
+                on_reply=on_reply,
+                on_error=lambda err: on_error(str(err)),
+                timeout=self.timeout,
+            )
+        except RpcError as exc:
+            on_error(str(exc))
+
+
+class QueuedMessage:
+    """A message sitting in (or in flight from) the scheduler."""
+
+    __slots__ = (
+        "seq",
+        "dst",
+        "service",
+        "body",
+        "priority",
+        "on_reply",
+        "on_failed",
+        "attempts",
+        "enqueued_at",
+        "state",
+        "size_hint",
+        "route_preference",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        dst: Host,
+        service: str,
+        body: Any,
+        priority: Priority,
+        on_reply: Callable[[Any], None],
+        on_failed: Callable[[str], None],
+        enqueued_at: float,
+        size_hint: int = 0,
+        route_preference: Optional[RouteKind] = None,
+    ) -> None:
+        self.seq = seq
+        self.dst = dst
+        self.service = service
+        self.body = body
+        self.priority = priority
+        self.on_reply = on_reply
+        self.on_failed = on_failed
+        self.attempts = 0
+        self.enqueued_at = enqueued_at
+        self.state = "queued"  # queued | inflight | accepted | done | cancelled
+        self.size_hint = size_hint
+        #: Requested quality of service: pin the message to one carrier
+        #: kind (paper 5.3: route choice "based in part upon the
+        #: requested quality of service").  None = any carrier.
+        self.route_preference = route_preference
+
+    def sort_key(self) -> tuple[int, int]:
+        return (int(self.priority), self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QueuedMessage #{self.seq} {self.service} -> {self.dst.name} "
+            f"{self.priority.name} {self.state}>"
+        )
+
+
+class NetworkScheduler:
+    """Priority-queued, route-selecting message drainer for one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        max_inflight: int = 4,
+        max_attempts: int = 8,
+        base_backoff: float = 1.0,
+        max_backoff: float = 300.0,
+        fifo_only: bool = False,
+        batch_max: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.host = transport.host
+        self.max_inflight = max_inflight
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.fifo_only = fifo_only
+        #: Channel-use optimization for draining a parked queue: up to
+        #: this many same-destination messages ride one wire exchange
+        #: (service ``rover.batch``; the server must support it).
+        #: 1 disables batching (the paper's prototype behaviour).
+        self.batch_max = batch_max
+        self.batches_sent = 0
+        self.routes: list[Route] = [DirectRoute(transport)]
+        self._heap: list[tuple[tuple[int, int], QueuedMessage]] = []
+        #: Every message not yet in a terminal state (queued, backing
+        #: off, or in flight) — the set a crash simulation abandons.
+        self._active: set[QueuedMessage] = set()
+        self._seq = 0
+        self._inflight = 0
+        self.delivered = 0
+        self.failed = 0
+        self.retransmissions = 0
+        self._watched_links: set[str] = set()
+        self._watch_links()
+
+    # -- public API -------------------------------------------------------
+
+    def add_route(self, route: Route) -> None:
+        """Register an additional carrier (e.g. the SMTP relay route)."""
+        self.routes.append(route)
+
+    def submit(
+        self,
+        dst: Host,
+        service: str,
+        body: Any,
+        priority: Priority = Priority.DEFAULT,
+        on_reply: Optional[Callable[[Any], None]] = None,
+        on_failed: Optional[Callable[[str], None]] = None,
+        size_hint: int = 0,
+        route_preference: Optional[RouteKind] = None,
+    ) -> QueuedMessage:
+        """Queue a request.  Non-blocking; callbacks fire on completion."""
+        message = QueuedMessage(
+            seq=self._seq,
+            dst=dst,
+            service=service,
+            body=body,
+            priority=Priority.DEFAULT if self.fifo_only else priority,
+            on_reply=on_reply or (lambda body: None),
+            on_failed=on_failed or (lambda reason: None),
+            enqueued_at=self.sim.now,
+            size_hint=size_hint,
+            route_preference=route_preference,
+        )
+        self._seq += 1
+        self._active.add(message)
+        self._push(message)
+        # Watch links that may have been attached after construction.
+        self._watch_links()
+        self.sim.schedule(0.0, self._pump)
+        return message
+
+    def cancel(self, message: QueuedMessage) -> bool:
+        """Drop a queued message; returns False if already in flight/done."""
+        if message.state != "queued":
+            return False
+        message.state = "cancelled"
+        self._active.discard(message)
+        return True
+
+    def reprioritize(self, message: QueuedMessage, priority: Priority) -> bool:
+        """Raise/lower a *queued* message's priority (e.g. a background
+        prefetch the user just clicked on).  No effect once in flight."""
+        if message.state != "queued" or self.fifo_only:
+            return False
+        if priority == message.priority:
+            return True
+        message.priority = priority
+        # Lazy re-heap: push a fresh key; stale heap entries are
+        # skipped because sort_key() no longer matches... simplest
+        # correct approach is to rebuild the heap.
+        self._heap = [
+            (m.sort_key(), m) for __, m in self._heap if m.state == "queued"
+        ]
+        heapq.heapify(self._heap)
+        self._pump()
+        return True
+
+    def abandon_all(self) -> int:
+        """Simulate process death: forget every queued and in-flight
+        message without firing any callback.
+
+        The stable operation log is the only crash survivor; a fresh
+        access manager recovers from it and resubmits.  Late replies to
+        abandoned in-flight messages are ignored (their state is
+        terminal).  Returns the number of messages abandoned.
+        """
+        count = 0
+        for message in list(self._active):
+            if message.state in ("queued", "inflight", "accepted"):
+                message.state = "cancelled"
+                count += 1
+        self._active.clear()
+        self._heap.clear()
+        self._inflight = 0
+        return count
+
+    def queue_length(self) -> int:
+        return sum(1 for __, m in self._heap if m.state == "queued")
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def idle(self) -> bool:
+        return self._inflight == 0 and self.queue_length() == 0
+
+    # -- internals ----------------------------------------------------------
+
+    def _push(self, message: QueuedMessage) -> None:
+        heapq.heappush(self._heap, (message.sort_key(), message))
+
+    def _watch_links(self) -> None:
+        for link in self.host.links:
+            if link.name in self._watched_links:
+                continue
+            self._watched_links.add(link.name)
+            link.on_transition(self._on_link_transition)
+
+    def _on_link_transition(self, link: Link, is_up: bool) -> None:
+        if is_up:
+            self._pump()
+
+    def _best_route(
+        self, dst: Host, preference: Optional[RouteKind] = None
+    ) -> Optional[Route]:
+        candidates = [
+            route
+            for route in self.routes
+            if route.available(dst)
+            and (preference is None or route.kind == preference)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda route: route.quality)
+
+    def _pump(self) -> None:
+        deferred: list[tuple[tuple[int, int], QueuedMessage]] = []
+        while self._inflight < self.max_inflight and self._heap:
+            __, message = self._heap[0]
+            if message.state != "queued":
+                heapq.heappop(self._heap)
+                continue
+            route = self._best_route(message.dst, message.route_preference)
+            if route is None:
+                # This message's destination (or pinned carrier) is
+                # unreachable right now; let the rest of the queue make
+                # progress around it — another destination's link may
+                # well be up (no head-of-line blocking across servers).
+                deferred.append(heapq.heappop(self._heap))
+                continue
+            heapq.heappop(self._heap)
+            batch = self._gather_batch(message)
+            if batch is not None:
+                self._dispatch_batch(batch, route)
+            else:
+                self._dispatch(message, route)
+        for item in deferred:
+            heapq.heappush(self._heap, item)
+
+    def _gather_batch(self, head: QueuedMessage) -> Optional[list[QueuedMessage]]:
+        """Pull queued same-destination messages to ride with ``head``.
+
+        Returns None when batching is off or nothing else qualifies.
+        Only unpinned messages batch — a pinned message's carrier may
+        differ from the one chosen for the head.
+        """
+        if self.batch_max <= 1 or head.route_preference is not None:
+            return None
+        batch = [head]
+        skipped: list[tuple[tuple[int, int], QueuedMessage]] = []
+        while self._heap and len(batch) < self.batch_max:
+            key, candidate = self._heap[0]
+            if candidate.state != "queued":
+                heapq.heappop(self._heap)
+                continue
+            if candidate.dst is not head.dst or candidate.route_preference is not None:
+                skipped.append(heapq.heappop(self._heap))
+                continue
+            heapq.heappop(self._heap)
+            batch.append(candidate)
+        for item in skipped:
+            heapq.heappush(self._heap, item)
+        return batch if len(batch) > 1 else None
+
+    def _dispatch_batch(self, batch: list[QueuedMessage], route: Route) -> None:
+        """Send several messages as one ``rover.batch`` exchange."""
+        for message in batch:
+            message.state = "inflight"
+            message.attempts += 1
+            if message.attempts > 1:
+                self.retransmissions += 1
+        self._inflight += 1
+        self.batches_sent += 1
+        slot = {"held": True}
+
+        def release_slot() -> None:
+            if slot["held"]:
+                slot["held"] = False
+                self._inflight -= 1
+
+        def on_accepted() -> None:
+            for message in batch:
+                if message.state == "inflight":
+                    message.state = "accepted"
+            release_slot()
+            self._pump()
+
+        def on_reply(body: Any) -> None:
+            release_slot()
+            replies = body.get("replies", []) if isinstance(body, dict) else []
+            for index, message in enumerate(batch):
+                if message.state not in ("inflight", "accepted"):
+                    continue
+                message.state = "done"
+                self._active.discard(message)
+                if index < len(replies) and replies[index].get("ok"):
+                    self.delivered += 1
+                    message.on_reply(replies[index].get("body"))
+                else:
+                    detail = (
+                        replies[index].get("body") if index < len(replies) else None
+                    )
+                    self.failed += 1
+                    message.on_failed(
+                        detail.get("error", "batch member failed")
+                        if isinstance(detail, dict)
+                        else "batch member failed"
+                    )
+            self._pump()
+
+        def on_error(reason: str) -> None:
+            release_slot()
+            for message in batch:
+                if message.state not in ("inflight", "accepted"):
+                    continue
+                if message.attempts >= self.max_attempts:
+                    message.state = "done"
+                    self._active.discard(message)
+                    self.failed += 1
+                    message.on_failed(reason)
+                else:
+                    message.state = "queued"
+                    backoff = min(
+                        self.max_backoff,
+                        self.base_backoff * (2 ** (message.attempts - 1)),
+                    )
+                    self.sim.schedule(backoff, self._requeue, message)
+            self._pump()
+
+        body = {
+            "requests": [
+                {"service": message.service, "body": message.body}
+                for message in batch
+            ]
+        }
+        route.send(batch[0].dst, "rover.batch", body, on_reply, on_error, on_accepted)
+
+    def _dispatch(self, message: QueuedMessage, route: Route) -> None:
+        message.state = "inflight"
+        message.attempts += 1
+        if message.attempts > 1:
+            self.retransmissions += 1
+        self._inflight += 1
+        slot = {"held": True}
+
+        def release_slot() -> None:
+            if slot["held"]:
+                slot["held"] = False
+                self._inflight -= 1
+
+        def on_accepted() -> None:
+            # Store-and-forward custody: the channel is free, but the
+            # message stays logically outstanding until its reply.
+            if message.state == "inflight":
+                message.state = "accepted"
+            release_slot()
+            self._pump()
+
+        def on_reply(body: Any) -> None:
+            if message.state not in ("inflight", "accepted"):
+                return
+            message.state = "done"
+            self._active.discard(message)
+            release_slot()
+            self.delivered += 1
+            message.on_reply(body)
+            self._pump()
+
+        def on_error(reason: str) -> None:
+            if message.state not in ("inflight", "accepted"):
+                return
+            release_slot()
+            if message.attempts >= self.max_attempts:
+                message.state = "done"
+                self._active.discard(message)
+                self.failed += 1
+                message.on_failed(reason)
+            else:
+                message.state = "queued"
+                backoff = min(
+                    self.max_backoff,
+                    self.base_backoff * (2 ** (message.attempts - 1)),
+                )
+                self.sim.schedule(backoff, self._requeue, message)
+            self._pump()
+
+        route.send(
+            message.dst, message.service, message.body, on_reply, on_error, on_accepted
+        )
+
+    def _requeue(self, message: QueuedMessage) -> None:
+        if message.state != "queued":
+            return
+        self._push(message)
+        self._pump()

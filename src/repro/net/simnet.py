@@ -1,0 +1,294 @@
+"""Hosts, point-to-point links, and the transmission model.
+
+The model is store-and-forward over point-to-point links, matching the
+paper's client/server topology (a mobile host talking to its home
+server over whichever line is currently plugged in):
+
+* Each direction of a link is a serial line: a transfer occupies the
+  line for ``wire_bytes * 8 / bandwidth`` seconds starting when the
+  line is free (FIFO queueing), then propagates for ``latency``.
+* If the link's connectivity policy says the link drops while the
+  transfer is on the wire, the transfer fails and the sender's failure
+  callback runs at the drop time.  Bytes already spent are lost, which
+  is what makes retransmission policy interesting for the scheduler.
+* Random loss (``LinkSpec.loss_rate``) fails a transfer at its would-be
+  delivery time, modelling a timeout-detected loss.
+
+Hosts expose numbered ports; binding a port installs a handler that
+receives ``(payload_bytes, source_address)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim import Simulator, make_rng
+from repro.net.link import AlwaysUp, ConnectivityPolicy, LinkSpec
+
+Address = tuple[str, int]
+PortHandler = Callable[[bytes, Address], None]
+
+
+class LinkDown(Exception):
+    """Raised when sending on a link that is currently down."""
+
+
+class NetworkError(Exception):
+    """Topology or addressing misuse."""
+
+
+class Host:
+    """A named endpoint with ports and attached links."""
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        self.links: list["Link"] = []
+        self._ports: dict[int, PortHandler] = {}
+
+    def bind(self, port: int, handler: PortHandler) -> None:
+        """Install ``handler`` for inbound payloads on ``port``."""
+        if port in self._ports:
+            raise NetworkError(f"{self.name}: port {port} already bound")
+        self._ports[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def links_to(self, peer: "Host") -> list["Link"]:
+        """All links attached to both this host and ``peer``."""
+        return [link for link in self.links if link.peer_of(self) is peer]
+
+    def deliver(self, port: int, payload: bytes, source: Address) -> None:
+        handler = self._ports.get(port)
+        if handler is None:
+            # Mirror real networks: traffic to an unbound port vanishes.
+            self.network.dropped_to_unbound += 1
+            return
+        handler(payload, source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name}>"
+
+
+class Medium:
+    """A shared broadcast channel (e.g. one WaveLAN cell).
+
+    Point-to-point links model dedicated wires; a 2 Mbit/s wireless
+    cell is *shared* — every attached host's transmission serializes on
+    the same air time.  Links created with ``medium=`` contend on this
+    object's single busy-until clock instead of per-direction clocks.
+    """
+
+    __slots__ = ("name", "busy_until", "bytes_carried")
+
+    def __init__(self, name: str = "medium") -> None:
+        self.name = name
+        self.busy_until = 0.0
+        self.bytes_carried = 0
+
+
+class _Transfer:
+    """An in-flight transfer on one direction of a link."""
+
+    __slots__ = ("deliver_event", "fail", "done")
+
+    def __init__(self, deliver_event: Any, fail: Callable[[str], None]) -> None:
+        self.deliver_event = deliver_event
+        self.fail = fail
+        self.done = False
+
+
+class Link:
+    """A duplex point-to-point link between two hosts."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        host_a: Host,
+        host_b: Host,
+        spec: LinkSpec,
+        policy: ConnectivityPolicy,
+        medium: Optional[Medium] = None,
+    ) -> None:
+        self.network = network
+        self.name = name
+        self.host_a = host_a
+        self.host_b = host_b
+        self.spec = spec
+        self.policy = policy
+        self.medium = medium
+        self.sim = network.sim
+        self.bytes_carried = 0
+        self.transfers_failed = 0
+        self._busy_until = {host_a.name: 0.0, host_b.name: 0.0}
+        self._inflight: list[_Transfer] = []
+        self._listeners: list[Callable[["Link", bool], None]] = []
+        self._loss_rng = make_rng(network.seed, f"loss:{name}")
+        self._watch_transitions()
+
+    # -- connectivity ---------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self.policy.is_up(self.sim.now)
+
+    def on_transition(self, listener: Callable[["Link", bool], None]) -> None:
+        """Register for up/down notifications: ``listener(link, is_up)``."""
+        self._listeners.append(listener)
+
+    def _watch_transitions(self) -> None:
+        when = self.policy.next_transition(self.sim.now)
+        if when is None:
+            return
+        self.sim.schedule_at(when, self._handle_transition)
+
+    def _handle_transition(self) -> None:
+        up = self.is_up
+        if not up:
+            self._fail_inflight("link dropped")
+        for listener in list(self._listeners):
+            listener(self, up)
+        self._watch_transitions()
+
+    def _fail_inflight(self, reason: str) -> None:
+        transfers, self._inflight = self._inflight, []
+        for transfer in transfers:
+            if transfer.done:
+                continue
+            transfer.done = True
+            transfer.deliver_event.cancel()
+            self.transfers_failed += 1
+            transfer.fail(reason)
+
+    # -- transmission ---------------------------------------------------
+
+    def peer_of(self, host: Host) -> Host:
+        if host is self.host_a:
+            return self.host_b
+        if host is self.host_b:
+            return self.host_a
+        raise NetworkError(f"{host.name} is not attached to link {self.name}")
+
+    def queue_delay(self, sender: Host) -> float:
+        """Seconds until the sender-side line (or shared medium) is free."""
+        if self.medium is not None:
+            return max(0.0, self.medium.busy_until - self.sim.now)
+        return max(0.0, self._busy_until[sender.name] - self.sim.now)
+
+    def send(
+        self,
+        sender: Host,
+        port: int,
+        payload: bytes,
+        on_failed: Optional[Callable[[str], None]] = None,
+        src_port: int = 0,
+    ) -> float:
+        """Transmit ``payload`` to the peer host's ``port``.
+
+        Returns the scheduled delivery time.  Raises :class:`LinkDown`
+        if the link is down *now*; later failures (drop mid-transfer,
+        random loss) are reported through ``on_failed``.  ``src_port``
+        is what the receiver sees as the reply port.
+        """
+        receiver = self.peer_of(sender)
+        now = self.sim.now
+        if not self.policy.is_up(now):
+            raise LinkDown(f"link {self.name} is down at t={now:.3f}")
+
+        tx_time = self.spec.transmit_time(len(payload))
+        if self.medium is not None:
+            # Shared channel: every attached host contends for air time.
+            start = max(now, self.medium.busy_until)
+            end_of_tx = start + tx_time
+            self.medium.busy_until = end_of_tx
+            self.medium.bytes_carried += self.spec.wire_bytes(len(payload))
+        else:
+            start = max(now, self._busy_until[sender.name])
+            end_of_tx = start + tx_time
+            self._busy_until[sender.name] = end_of_tx
+        arrival = end_of_tx + self.spec.latency_s
+
+        fail = on_failed or (lambda reason: None)
+        lost = self.spec.loss_rate > 0 and self._loss_rng.random() < self.spec.loss_rate
+
+        source: Address = (sender.name, src_port)
+        transfer = _Transfer(deliver_event=None, fail=fail)
+
+        def complete() -> None:
+            if transfer.done:
+                return
+            transfer.done = True
+            if transfer in self._inflight:
+                self._inflight.remove(transfer)
+            if lost:
+                self.transfers_failed += 1
+                fail("packet loss")
+                return
+            self.bytes_carried += self.spec.wire_bytes(len(payload))
+            receiver.deliver(port, payload, source)
+
+        transfer.deliver_event = self.sim.schedule_at(arrival, complete)
+        self._inflight.append(transfer)
+        return arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.is_up else "down"
+        return f"<Link {self.name} {self.host_a.name}<->{self.host_b.name} {state}>"
+
+
+class Network:
+    """The topology: hosts plus the links between them."""
+
+    def __init__(self, sim: Simulator, seed: int = 0) -> None:
+        self.sim = sim
+        self.seed = seed
+        self.hosts: dict[str, Host] = {}
+        self._links: dict[str, Link] = {}
+        self.dropped_to_unbound = 0
+
+    def host(self, name: str) -> Host:
+        """Create (or fetch) the host with ``name``."""
+        if name not in self.hosts:
+            self.hosts[name] = Host(self, name)
+        return self.hosts[name]
+
+    def medium(self, name: str = "cell") -> Medium:
+        """Create a shared broadcast channel for `connect(..., medium=)`."""
+        return Medium(name)
+
+    def connect(
+        self,
+        host_a: Host,
+        host_b: Host,
+        spec: LinkSpec,
+        policy: Optional[ConnectivityPolicy] = None,
+        name: Optional[str] = None,
+        medium: Optional[Medium] = None,
+    ) -> Link:
+        """Attach a duplex link between two hosts.
+
+        Links sharing a ``medium`` contend for the same air time —
+        model a wireless cell by giving every client-to-base link the
+        same medium.
+        """
+        if host_a is host_b:
+            raise NetworkError("cannot link a host to itself")
+        link_name = name or f"{host_a.name}--{host_b.name}:{spec.name}"
+        if link_name in self._links:
+            raise NetworkError(f"duplicate link name {link_name}")
+        link = Link(
+            self, link_name, host_a, host_b, spec, policy or AlwaysUp(), medium=medium
+        )
+        self._links[link_name] = link
+        host_a.links.append(link)
+        host_b.links.append(link)
+        return link
+
+    def link(self, name: str) -> Link:
+        return self._links[name]
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())

@@ -1,0 +1,326 @@
+"""Object-level messaging and request/reply RPC.
+
+The transport sits between raw links and the Rover layers above:
+
+* :class:`Transport` marshals Python values, picks a link to the
+  destination host, and delivers to a bound port on the far side.
+* :meth:`Transport.call` adds request/reply correlation with timeouts —
+  a conventional *blocking* RPC in the Birrell/Nelson sense.  Rover's
+  QRPC is built on top of this in :mod:`repro.core.qrpc`; the blocking
+  form also serves as the paper's baseline ("non-queued RPC") in the
+  benchmarks.
+
+Replies travel back over the same link that carried the request, so a
+reply can fail independently if the link drops in between — exactly
+the window that makes at-most-once duplicate suppression necessary at
+the QRPC layer.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Optional
+
+from repro.net.link import LinkSpec
+from repro.net.message import marshal, unmarshal
+from repro.net.simnet import Address, Host, Link, LinkDown
+from repro.sim import Simulator
+
+# One-byte framing marker ahead of every transport payload.
+_RAW = b"R"
+_COMPRESSED = b"Z"
+
+# Well-known ports.
+RPC_PORT = 530
+HTTP_PORT = 80
+SMTP_PORT = 25
+
+MessageHandler = Callable[[Any, Address], None]
+RequestHandler = Callable[[Any, Address], Any]
+
+
+class RpcError(Exception):
+    """A call failed (link down, lost, or remote error)."""
+
+
+class RpcTimeout(RpcError):
+    """No reply arrived within the timeout."""
+
+
+class DelayedReply:
+    """A service handler's way to charge virtual compute time.
+
+    Returning ``DelayedReply(0.030, body)`` makes the carrier transmit
+    ``body`` 30 virtual milliseconds after the request was dispatched —
+    modelling server-side execution (e.g. running a shipped RDO).
+    """
+
+    __slots__ = ("delay_s", "body")
+
+    def __init__(self, delay_s: float, body: Any) -> None:
+        self.delay_s = delay_s
+        self.body = body
+
+
+class Transport:
+    """Per-host object transport.
+
+    One :class:`Transport` is created per host; it owns the host's RPC
+    port and hands inbound datagrams to registered handlers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        compress_threshold: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self._handlers: dict[int, MessageHandler] = {}
+        self._request_handlers: dict[str, RequestHandler] = {}
+        self._next_call_id = 0
+        self._pending_calls: dict[str, dict[str, Any]] = {}
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        #: Compress payloads larger than this many marshalled bytes
+        #: (None disables — the paper's prototype choice).  Receivers
+        #: always understand compressed frames regardless of their own
+        #: setting, so the option can be enabled per host.
+        self.compress_threshold = compress_threshold
+        self.bytes_saved_by_compression = 0
+        host.bind(RPC_PORT, self._on_rpc_datagram)
+
+    # -- payload framing ---------------------------------------------------
+
+    def _encode_payload(self, value: Any) -> bytes:
+        raw = marshal(value)
+        if (
+            self.compress_threshold is not None
+            and len(raw) > self.compress_threshold
+        ):
+            squeezed = zlib.compress(raw, level=6)
+            if len(squeezed) + 1 < len(raw):
+                self.bytes_saved_by_compression += len(raw) - len(squeezed) - 1
+                return _COMPRESSED + squeezed
+        return _RAW + raw
+
+    @staticmethod
+    def _decode_payload(payload: bytes) -> Any:
+        marker, body = payload[:1], payload[1:]
+        if marker == _COMPRESSED:
+            return unmarshal(zlib.decompress(body))
+        return unmarshal(body)
+
+    # -- link selection --------------------------------------------------
+
+    def usable_links(self, dst: Host) -> list[Link]:
+        """Links to ``dst`` that are currently up, best bandwidth first."""
+        links = [link for link in self.host.links_to(dst) if link.is_up]
+        links.sort(key=lambda link: -link.spec.bandwidth_bps)
+        return links
+
+    def best_link(self, dst: Host) -> Optional[Link]:
+        links = self.usable_links(dst)
+        return links[0] if links else None
+
+    # -- datagram layer ---------------------------------------------------
+
+    def listen(self, port: int, handler: MessageHandler) -> None:
+        """Receive unmarshalled objects sent to ``port`` on this host."""
+        if port == RPC_PORT:
+            raise ValueError(f"port {RPC_PORT} is reserved for RPC")
+        self._handlers[port] = handler
+        self.host.bind(port, self._make_port_dispatcher(port))
+
+    def _make_port_dispatcher(self, port: int) -> Callable[[bytes, Address], None]:
+        def dispatch(payload: bytes, source: Address) -> None:
+            handler = self._handlers.get(port)
+            if handler is not None:
+                handler(self._decode_payload(payload), source)
+
+        return dispatch
+
+    def send(
+        self,
+        dst: Host,
+        port: int,
+        value: Any,
+        link: Optional[Link] = None,
+        on_failed: Optional[Callable[[str], None]] = None,
+        src_port: int = RPC_PORT,
+    ) -> int:
+        """Marshal and transmit ``value``; returns payload size in bytes.
+
+        Raises :class:`LinkDown` when no usable link exists right now.
+        """
+        chosen = link or self.best_link(dst)
+        if chosen is None or not chosen.is_up:
+            raise LinkDown(f"no usable link {self.host.name} -> {dst.name}")
+        payload = self._encode_payload(value)
+        chosen.send(self.host, port, payload, on_failed=on_failed, src_port=src_port)
+        self.bytes_sent += len(payload)
+        self.messages_sent += 1
+        return len(payload)
+
+    # -- request/reply (blocking RPC baseline) ----------------------------
+
+    def register(self, service: str, handler: RequestHandler) -> None:
+        """Expose ``handler`` as a callable remote service on this host."""
+        self._request_handlers[service] = handler
+
+    def call(
+        self,
+        dst: Host,
+        service: str,
+        request: Any,
+        on_reply: Callable[[Any], None],
+        on_error: Callable[[RpcError], None],
+        timeout: float = 60.0,
+        link: Optional[Link] = None,
+    ) -> str:
+        """Issue an RPC; exactly one of the callbacks will run.
+
+        Returns the call id (useful for correlating in logs).
+        """
+        call_id = f"{self.host.name}:{self._next_call_id}"
+        self._next_call_id += 1
+
+        def expire() -> None:
+            pending = self._pending_calls.pop(call_id, None)
+            if pending is not None:
+                on_error(RpcTimeout(f"call {call_id} to {service} timed out"))
+
+        timer = self.sim.schedule(timeout, expire)
+        self._pending_calls[call_id] = {
+            "on_reply": on_reply,
+            "on_error": on_error,
+            "timer": timer,
+        }
+
+        envelope = {
+            "kind": "request",
+            "id": call_id,
+            "service": service,
+            "body": request,
+        }
+
+        def failed(reason: str) -> None:
+            pending = self._pending_calls.pop(call_id, None)
+            if pending is not None:
+                pending["timer"].cancel()
+                on_error(RpcError(f"call {call_id} failed: {reason}"))
+
+        try:
+            self.send(dst, RPC_PORT, envelope, link=link, on_failed=failed)
+        except LinkDown as exc:
+            pending = self._pending_calls.pop(call_id, None)
+            if pending is not None:
+                pending["timer"].cancel()
+            raise RpcError(str(exc)) from exc
+        return call_id
+
+    def call_blocking(
+        self,
+        dst: Host,
+        service: str,
+        request: Any,
+        timeout: float = 60.0,
+        link: Optional[Link] = None,
+    ) -> Any:
+        """Run the simulator until the reply arrives; return the result.
+
+        This is the conventional-RPC baseline: the "application" makes
+        no progress while the call is outstanding.  Raises
+        :class:`RpcError` on failure or timeout.
+        """
+        outcome: dict[str, Any] = {}
+
+        def on_reply(value: Any) -> None:
+            outcome["value"] = value
+
+        def on_error(error: RpcError) -> None:
+            outcome["error"] = error
+
+        self.call(dst, service, request, on_reply, on_error, timeout=timeout, link=link)
+        self.sim.run_until(lambda: bool(outcome))
+        if "error" in outcome:
+            raise outcome["error"]
+        if "value" not in outcome:
+            raise RpcTimeout(f"simulation drained before reply from {service}")
+        return outcome["value"]
+
+    def _on_rpc_datagram(self, payload: bytes, source: Address) -> None:
+        envelope = self._decode_payload(payload)
+        kind = envelope.get("kind")
+        if kind == "request":
+            self._serve_request(envelope, source)
+        elif kind == "reply":
+            self._accept_reply(envelope)
+
+    def handle_request(self, service: str, body: Any, source: Address) -> tuple[bool, Any]:
+        """Dispatch a request to the local service table.
+
+        Shared by every carrier that can deliver requests to this host
+        (direct RPC port, SMTP relay).  Returns ``(ok, reply_body)``;
+        handler exceptions are captured as error replies rather than
+        crashing the host.
+        """
+        handler = self._request_handlers.get(service)
+        if handler is None:
+            return False, {"error": f"unknown service {service!r}"}
+        try:
+            return True, handler(body, source)
+        except Exception as exc:  # surface remote faults to caller
+            return False, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _serve_request(self, envelope: dict, source: Address) -> None:
+        src_host = self.host.network.hosts.get(source[0])
+        if src_host is None:
+            return
+        ok, reply_body = self.handle_request(
+            envelope.get("service", ""), envelope.get("body"), source
+        )
+        delay = 0.0
+        if isinstance(reply_body, DelayedReply):
+            delay = reply_body.delay_s
+            reply_body = reply_body.body
+        reply = {
+            "kind": "reply",
+            "id": envelope.get("id"),
+            "ok": ok,
+            "body": reply_body,
+        }
+
+        def transmit() -> None:
+            try:
+                self.send(src_host, RPC_PORT, reply)
+            except LinkDown:
+                # The reply is lost; the caller's timeout handles it.
+                pass
+
+        if delay > 0:
+            self.sim.schedule(delay, transmit)
+        else:
+            transmit()
+
+    def _accept_reply(self, envelope: dict) -> None:
+        call_id = envelope.get("id")
+        pending = self._pending_calls.pop(call_id, None)
+        if pending is None:
+            return  # duplicate or expired reply
+        pending["timer"].cancel()
+        if envelope.get("ok"):
+            pending["on_reply"](envelope.get("body"))
+        else:
+            body = envelope.get("body") or {}
+            message = body.get("error", "remote error") if isinstance(body, dict) else str(body)
+            pending["on_error"](RpcError(message))
+
+
+def null_rpc_time(spec: LinkSpec, request_bytes: int, reply_bytes: int) -> float:
+    """Analytic round-trip time for a request/reply on an idle link.
+
+    Used by benchmarks to sanity-check simulated latencies.
+    """
+    return spec.transfer_time(request_bytes) + spec.transfer_time(reply_bytes)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+The Rover reproduction runs on virtual time: network transfers over a
+2.4 Kbit/s modem complete in microseconds of real time while preserving
+the exact latency/bandwidth arithmetic of the paper's testbed.  The
+kernel is deliberately tiny: a time-ordered event queue
+(:class:`Simulator`), generator-based processes (:meth:`Simulator.spawn`)
+for scripted actors, and waitable signals (:class:`Signal`).
+"""
+
+from repro.sim.events import Event, SimulationError, Simulator
+from repro.sim.process import Process, ProcessKilled, Signal, Waitable, spawn
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Event",
+    "Process",
+    "ProcessKilled",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Waitable",
+    "make_rng",
+    "spawn",
+]

@@ -1,0 +1,184 @@
+"""Event queue and virtual clock.
+
+A :class:`Simulator` owns the virtual clock and a heap of pending
+events.  Events scheduled for the same instant fire in the order they
+were scheduled (FIFO tie-break on a monotonically increasing sequence
+number), which makes every run of a seeded scenario bit-for-bit
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Holding the handle allows cancellation via :meth:`Simulator.cancel`
+    or :meth:`cancel`.  A cancelled event stays in the heap but is
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state} {self.fn!r}>"
+
+
+class Simulator:
+    """Discrete-event simulator with a virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        event.cancel()
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the single earliest pending event.
+
+        Returns ``False`` when the queue is empty (time does not
+        advance), ``True`` otherwise.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given, events at times strictly greater than
+        it are left queued and the clock is advanced exactly to
+        ``until``.  Returns the number of events executed.  Raises
+        :class:`SimulationError` after ``max_events`` as a runaway
+        guard.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway loop"
+                    )
+                heapq.heappop(self._queue)
+                self._now = head.time
+                head.fn(*head.args)
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def spawn(self, gen: Any, name: str = "") -> Any:
+        """Start a generator as a simulated process (see :mod:`repro.sim.process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, gen, name=name)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 1e9,
+        max_events: int = 10_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` is true.
+
+        Returns ``True`` if the predicate was satisfied, ``False`` if
+        the event queue drained or the virtual ``timeout`` elapsed
+        first.  The predicate is checked after every event.
+        """
+        deadline = self._now + timeout
+        executed = 0
+        if predicate():
+            return True
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                return False
+            if executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a runaway loop"
+                )
+            heapq.heappop(self._queue)
+            self._now = head.time
+            head.fn(*head.args)
+            executed += 1
+            if predicate():
+                return True
+        return predicate()

@@ -1,0 +1,23 @@
+"""Deterministic random streams.
+
+Every stochastic component (workload generators, link loss, think
+times) draws from its own named stream so adding randomness to one
+component never perturbs another.  Streams are derived from a master
+seed plus a stream label via a stable hash (Python's ``hash`` is
+salted per-process, so we use ``zlib.crc32`` instead).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def make_rng(seed: int, stream: str = "") -> random.Random:
+    """Return a :class:`random.Random` for (seed, stream).
+
+    The same (seed, stream) pair always yields the same sequence, on
+    any platform and in any process.
+    """
+    label = zlib.crc32(stream.encode("utf-8"))
+    return random.Random((seed & 0xFFFFFFFF) * 0x1_0000_0000 + label)

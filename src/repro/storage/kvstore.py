@@ -1,0 +1,83 @@
+"""Versioned key/value store — the Rover server's object store.
+
+Every stored value carries a monotonically increasing version number;
+conditional puts (:meth:`KVStore.put_if_version`) are the primitive the
+server's conflict detection is built on: an exported object commits
+only if the client's base version still matches the stored version.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class VersionMismatch(Exception):
+    """Conditional put failed: the stored version moved on."""
+
+    def __init__(self, key: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"version mismatch for {key!r}: expected {expected}, stored {actual}"
+        )
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
+class KVStore:
+    """In-memory versioned map: key -> (value, version)."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, tuple[Any, int]] = {}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def get(self, key: str) -> tuple[Any, int]:
+        """Return ``(value, version)``; raises :class:`KeyError` if absent."""
+        return self._data[key]
+
+    def get_value(self, key: str, default: Any = None) -> Any:
+        entry = self._data.get(key)
+        return entry[0] if entry is not None else default
+
+    def version(self, key: str) -> Optional[int]:
+        entry = self._data.get(key)
+        return entry[1] if entry is not None else None
+
+    def put(self, key: str, value: Any) -> int:
+        """Unconditional write; returns the new version (starts at 1)."""
+        current = self._data.get(key)
+        new_version = (current[1] if current is not None else 0) + 1
+        self._data[key] = (value, new_version)
+        return new_version
+
+    def put_if_version(self, key: str, value: Any, expected_version: int) -> int:
+        """Write only if the stored version equals ``expected_version``.
+
+        Version 0 means "expect absent".  Returns the new version;
+        raises :class:`VersionMismatch` otherwise.
+        """
+        current = self._data.get(key)
+        actual = current[1] if current is not None else 0
+        if actual != expected_version:
+            raise VersionMismatch(key, expected_version, actual)
+        new_version = actual + 1
+        self._data[key] = (value, new_version)
+        return new_version
+
+    def delete(self, key: str) -> bool:
+        """Remove a key; returns whether it existed."""
+        return self._data.pop(key, None) is not None
+
+    def snapshot(self) -> dict[str, tuple[Any, int]]:
+        """Shallow copy of the store (for checkpoint-style tests)."""
+        return dict(self._data)
+
+    def restore(self, snapshot: dict[str, tuple[Any, int]]) -> None:
+        self._data = dict(snapshot)

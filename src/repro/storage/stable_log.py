@@ -1,0 +1,237 @@
+"""Append-only stable log with flush barrier and crash recovery.
+
+The client's operation log (section 5.2 of the paper) is forced to
+stable storage before a QRPC returns to the application — the flush is
+on the critical path.  The paper notes its prototype "favors simplicity
+over performance: it does not perform any compression on the log and it
+does not employ efficient techniques for implementing stable storage
+(e.g., Flash RAM or group commit)"; we model the same simple scheme.
+
+Two backends:
+
+* :class:`MemoryLogBackend` — records split into a *stable* prefix and
+  a *volatile* tail; ``crash()`` drops the tail.  Used by tests and
+  benchmarks (fast, deterministic).
+* :class:`FileLogBackend` — a real append-only file of length-prefixed,
+  CRC-checked records; recovery scans until the first torn record.
+  Used by the durability tests.
+
+The :class:`FlushModel` supplies the *virtual-time* cost of a flush so
+experiment E2 can charge it against the link transmit time (a 1995
+laptop disk: ~15 ms access plus ~1 MB/s streaming).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable record: a sequence number plus opaque payload."""
+
+    seq: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class FlushModel:
+    """Virtual-time cost of forcing the log to stable storage."""
+
+    latency_s: float = 0.015
+    bytes_per_s: float = 1_000_000.0
+
+    def flush_time(self, payload_bytes: int) -> float:
+        return self.latency_s + payload_bytes / self.bytes_per_s
+
+    @staticmethod
+    def free() -> "FlushModel":
+        """A zero-cost model (the E2 ablation: log flush disabled)."""
+        return FlushModel(latency_s=0.0, bytes_per_s=float("inf"))
+
+
+class LogCorruption(Exception):
+    """A record failed its CRC during recovery (only partially written)."""
+
+
+class MemoryLogBackend:
+    """Stable/volatile split in memory; ``crash`` drops the volatile tail."""
+
+    def __init__(self) -> None:
+        self._stable: list[LogRecord] = []
+        self._volatile: list[LogRecord] = []
+
+    def append(self, record: LogRecord) -> None:
+        self._volatile.append(record)
+
+    def flush(self) -> int:
+        """Make the volatile tail durable; returns bytes flushed."""
+        flushed = sum(len(r.payload) for r in self._volatile)
+        self._stable.extend(self._volatile)
+        self._volatile.clear()
+        return flushed
+
+    def crash(self) -> None:
+        self._volatile.clear()
+
+    def records(self) -> list[LogRecord]:
+        return list(self._stable)
+
+    def truncate_through(self, seq: int) -> None:
+        self._stable = [r for r in self._stable if r.seq > seq]
+        self._volatile = [r for r in self._volatile if r.seq > seq]
+
+    def close(self) -> None:
+        pass
+
+
+_RECORD_HEADER = struct.Struct(">QII")  # seq, payload length, crc32
+
+
+class FileLogBackend:
+    """Append-only file of ``[seq, len, crc32, payload]`` records.
+
+    Recovery tolerates a torn final record (the crash-during-append
+    case) by stopping at the first length/CRC mismatch.  Truncation
+    rewrites the file — the paper's prototype made the same
+    simplicity-over-performance choice.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "ab")
+
+    def append(self, record: LogRecord) -> None:
+        header = _RECORD_HEADER.pack(
+            record.seq, len(record.payload), zlib.crc32(record.payload)
+        )
+        self._file.write(header + record.payload)
+
+    def flush(self) -> int:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        return 0
+
+    def crash(self) -> None:
+        """Simulate losing the OS buffer: drop unflushed bytes.
+
+        We approximate by reopening; data already written via
+        ``flush`` survives, and for tests the torn-record case is
+        produced with :meth:`tear_tail`.
+        """
+        self._file.close()
+        self._file = open(self.path, "ab")
+
+    def tear_tail(self, drop_bytes: int) -> None:
+        """Chop bytes off the end of the file (simulated torn write)."""
+        self._file.close()
+        size = os.path.getsize(self.path)
+        with open(self.path, "ab") as f:
+            f.truncate(max(0, size - drop_bytes))
+        self._file = open(self.path, "ab")
+
+    def records(self) -> list[LogRecord]:
+        self._file.flush()
+        result: list[LogRecord] = []
+        with open(self.path, "rb") as f:
+            data = f.read()
+        pos = 0
+        while pos + _RECORD_HEADER.size <= len(data):
+            seq, length, crc = _RECORD_HEADER.unpack_from(data, pos)
+            start = pos + _RECORD_HEADER.size
+            end = start + length
+            if end > len(data):
+                break  # torn final record
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # corrupt record: stop recovery here
+            result.append(LogRecord(seq, payload))
+            pos = end
+        return result
+
+    def truncate_through(self, seq: int) -> None:
+        keep = [r for r in self.records() if r.seq > seq]
+        self._file.close()
+        with open(self.path, "wb") as f:
+            for record in keep:
+                header = _RECORD_HEADER.pack(
+                    record.seq, len(record.payload), zlib.crc32(record.payload)
+                )
+                f.write(header + record.payload)
+            f.flush()
+            os.fsync(f.fileno())
+        self._file = open(self.path, "ab")
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class StableLog:
+    """The client operation log.
+
+    ``append`` assigns the next sequence number; ``flush`` makes all
+    appended records durable and reports the virtual-time cost per the
+    :class:`FlushModel`.  ``truncate_through`` discards records whose
+    QRPCs have been acknowledged by the server.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[MemoryLogBackend | FileLogBackend] = None,
+        flush_model: Optional[FlushModel] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else MemoryLogBackend()
+        self.flush_model = flush_model if flush_model is not None else FlushModel()
+        existing = self.backend.records()
+        self._next_seq = existing[-1].seq + 1 if existing else 0
+        self.appends = 0
+        self.flushes = 0
+        self.bytes_flushed = 0
+        self._unflushed_bytes = 0
+
+    def append(self, payload: bytes) -> int:
+        """Append a record; returns its sequence number (not yet durable)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self.backend.append(LogRecord(seq, payload))
+        self.appends += 1
+        self._unflushed_bytes += len(payload)
+        return seq
+
+    def flush(self) -> float:
+        """Force appended records to stable storage.
+
+        Returns the simulated flush duration in seconds (the caller —
+        the access manager — charges this to virtual time).
+        """
+        pending = self._unflushed_bytes
+        self.backend.flush()
+        self.flushes += 1
+        self.bytes_flushed += pending
+        self._unflushed_bytes = 0
+        return self.flush_model.flush_time(pending)
+
+    def append_durable(self, payload: bytes) -> tuple[int, float]:
+        """Append and immediately flush; returns (seq, flush seconds)."""
+        seq = self.append(payload)
+        return seq, self.flush()
+
+    def records(self) -> list[LogRecord]:
+        """Durable records, oldest first (what recovery would see)."""
+        return self.backend.records()
+
+    def truncate_through(self, seq: int) -> None:
+        """Discard records with sequence numbers <= ``seq``."""
+        self.backend.truncate_through(seq)
+
+    def crash(self) -> None:
+        """Lose everything not yet flushed."""
+        self.backend.crash()
+        self._unflushed_bytes = 0
+
+    def close(self) -> None:
+        self.backend.close()

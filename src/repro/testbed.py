@@ -1,0 +1,214 @@
+"""Scenario builders — one-call setup of paper-style testbeds.
+
+Shared by the tests, the benchmarks, and the examples so they all
+measure the same configuration: a mobile client and a home server
+joined by one of the paper's four links (plus optional SMTP relay),
+with the full Rover stack wired on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.access_manager import AccessManager
+from repro.core.conflict import ResolverRegistry
+from repro.core.notification import NotificationCenter
+from repro.core.object_cache import ObjectCache
+from repro.core.operation_log import OperationLog
+from repro.core.server import RoverServer
+from repro.net.link import ConnectivityPolicy, LinkSpec, ETHERNET_10M
+from repro.net.scheduler import NetworkScheduler
+from repro.net.simnet import Host, Link, Network
+from repro.net.smtp import MailRelay, Mailbox, MailRoute, MailRpcEndpoint
+from repro.net.transport import Transport
+from repro.sim import Simulator
+from repro.storage.stable_log import FlushModel, StableLog
+
+
+@dataclass
+class Testbed:
+    """Everything a scenario needs, fully wired."""
+
+    sim: Simulator
+    network: Network
+    client_host: Host
+    server_host: Host
+    link: Link
+    client_transport: Transport
+    server_transport: Transport
+    scheduler: NetworkScheduler
+    server: RoverServer
+    access: AccessManager
+    relay_host: Optional[Host] = None
+    relay: Optional[MailRelay] = None
+    client_mailbox: Optional[Mailbox] = None
+    server_mailbox: Optional[Mailbox] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def authority(self) -> str:
+        return self.server.authority
+
+
+def build_testbed(
+    link_spec: LinkSpec = ETHERNET_10M,
+    policy: Optional[ConnectivityPolicy] = None,
+    flush_model: Optional[FlushModel] = None,
+    resolvers: Optional[ResolverRegistry] = None,
+    with_relay: bool = False,
+    relay_link_spec: Optional[LinkSpec] = None,
+    relay_client_policy: Optional[ConnectivityPolicy] = None,
+    relay_server_policy: Optional[ConnectivityPolicy] = None,
+    authority: str = "server",
+    cache_capacity: int = 8 * 1024 * 1024,
+    max_inflight: int = 4,
+    fifo_only: bool = False,
+    compress_threshold: Optional[int] = None,
+    batch_max: int = 1,
+    seed: int = 0,
+) -> Testbed:
+    """Build the canonical client/server testbed.
+
+    ``link_spec``/``policy`` describe the direct client-server link.
+    With ``with_relay`` an SMTP relay host is added with its own links
+    (default: same spec, always up), the client's scheduler learns the
+    mail route, and the server answers mailed QRPCs.
+    """
+    sim = Simulator()
+    network = Network(sim, seed=seed)
+    client_host = network.host("client")
+    server_host = network.host(authority)
+    link = network.connect(client_host, server_host, link_spec, policy)
+
+    client_transport = Transport(sim, client_host, compress_threshold=compress_threshold)
+    server_transport = Transport(sim, server_host, compress_threshold=compress_threshold)
+
+    server = RoverServer(sim, server_transport, authority, resolvers=resolvers)
+    scheduler = NetworkScheduler(
+        sim,
+        client_transport,
+        max_inflight=max_inflight,
+        fifo_only=fifo_only,
+        batch_max=batch_max,
+    )
+
+    relay_host = relay = client_mailbox = server_mailbox = None
+    if with_relay:
+        relay_spec = relay_link_spec or link_spec
+        relay_host = network.host("relay")
+        network.connect(client_host, relay_host, relay_spec, relay_client_policy)
+        network.connect(relay_host, server_host, relay_spec, relay_server_policy)
+        relay_transport = Transport(sim, relay_host)
+        relay = MailRelay(sim, relay_transport)
+        relay.watch_new_links()
+        client_mailbox = Mailbox(sim, client_transport, relay_host)
+        server_mailbox = Mailbox(sim, server_transport, relay_host)
+        MailRpcEndpoint(sim, server_transport, server_mailbox)
+        scheduler.add_route(MailRoute(sim, client_mailbox))
+
+    access = AccessManager(
+        sim,
+        scheduler,
+        servers={authority: server_host},
+        cache=ObjectCache(capacity_bytes=cache_capacity, clock=lambda: sim.now),
+        log=OperationLog(StableLog(flush_model=flush_model)),
+        notifications=NotificationCenter(),
+    )
+    access.watch_new_links()
+
+    return Testbed(
+        sim=sim,
+        network=network,
+        client_host=client_host,
+        server_host=server_host,
+        link=link,
+        client_transport=client_transport,
+        server_transport=server_transport,
+        scheduler=scheduler,
+        server=server,
+        access=access,
+        relay_host=relay_host,
+        relay=relay,
+        client_mailbox=client_mailbox,
+        server_mailbox=server_mailbox,
+    )
+
+
+@dataclass
+class ClientStack:
+    """One mobile client's full Rover stack."""
+
+    host: Host
+    link: Link
+    transport: Transport
+    scheduler: NetworkScheduler
+    access: AccessManager
+
+
+@dataclass
+class MultiClientTestbed:
+    """Several mobile clients sharing one home server."""
+
+    sim: Simulator
+    network: Network
+    server_host: Host
+    server_transport: Transport
+    server: RoverServer
+    clients: list[ClientStack]
+
+    @property
+    def authority(self) -> str:
+        return self.server.authority
+
+
+def build_multi_client_testbed(
+    n_clients: int,
+    link_spec: LinkSpec = ETHERNET_10M,
+    policies: Optional[list[Optional[ConnectivityPolicy]]] = None,
+    flush_model: Optional[FlushModel] = None,
+    resolvers: Optional[ResolverRegistry] = None,
+    authority: str = "server",
+    shared_medium: bool = False,
+    seed: int = 0,
+) -> MultiClientTestbed:
+    """Build N clients, each with its own link (and policy) to one server.
+
+    Used by the calendar experiments, where two disconnected replicas
+    make overlapping updates and reconcile at the home server.  With
+    ``shared_medium=True`` every client link contends on one channel —
+    a wireless cell rather than N dedicated wires.
+    """
+    sim = Simulator()
+    network = Network(sim, seed=seed)
+    server_host = network.host(authority)
+    server_transport = Transport(sim, server_host)
+    server = RoverServer(sim, server_transport, authority, resolvers=resolvers)
+    medium = network.medium(f"{link_spec.name}-cell") if shared_medium else None
+
+    clients: list[ClientStack] = []
+    for index in range(n_clients):
+        host = network.host(f"client{index}")
+        policy = policies[index] if policies is not None else None
+        link = network.connect(host, server_host, link_spec, policy, medium=medium)
+        transport = Transport(sim, host)
+        scheduler = NetworkScheduler(sim, transport)
+        access = AccessManager(
+            sim,
+            scheduler,
+            servers={authority: server_host},
+            cache=ObjectCache(clock=lambda: sim.now),
+            log=OperationLog(StableLog(flush_model=flush_model)),
+            notifications=NotificationCenter(),
+        )
+        access.watch_new_links()
+        clients.append(ClientStack(host, link, transport, scheduler, access))
+
+    return MultiClientTestbed(
+        sim=sim,
+        network=network,
+        server_host=server_host,
+        server_transport=server_transport,
+        server=server,
+        clients=clients,
+    )

@@ -1,0 +1,31 @@
+"""Seeded synthetic workload generators.
+
+Substitutes for the paper's live inputs (the authors' mailboxes,
+calendars, and the 1995 web): deterministic generators parameterised
+to the same size regimes, so every experiment is reproducible
+bit-for-bit from its seed.
+"""
+
+from repro.workloads.generators import (
+    CalendarOp,
+    MailCorpus,
+    MailMessage,
+    SiteGraph,
+    WebPage,
+    generate_calendar_ops,
+    generate_connectivity_trace,
+    generate_mail_corpus,
+    generate_site,
+)
+
+__all__ = [
+    "CalendarOp",
+    "MailCorpus",
+    "MailMessage",
+    "SiteGraph",
+    "WebPage",
+    "generate_calendar_ops",
+    "generate_connectivity_trace",
+    "generate_mail_corpus",
+    "generate_site",
+]

@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.naming import URN
+from repro.core.rdo import RDO, MethodSpec, RDOInterface
+from repro.net.link import CSLIP_14_4, ETHERNET_10M
+from repro.testbed import Testbed, build_testbed
+
+NOTE_CODE = '''
+def read(state):
+    return state["text"]
+
+def set_text(state, text):
+    state["text"] = text
+    return text
+
+def length(state):
+    return len(state["text"])
+'''
+
+NOTE_INTERFACE = RDOInterface(
+    [
+        MethodSpec("read"),
+        MethodSpec("set_text", mutates=True),
+        MethodSpec("length"),
+    ]
+)
+
+
+def make_note(authority: str = "server", path: str = "notes/n1", text: str = "hello") -> RDO:
+    return RDO(
+        URN(authority, path),
+        "note",
+        {"text": text},
+        code=NOTE_CODE,
+        interface=NOTE_INTERFACE,
+    )
+
+
+@pytest.fixture
+def ethernet_bed() -> Testbed:
+    return build_testbed(link_spec=ETHERNET_10M)
+
+
+@pytest.fixture
+def cslip_bed() -> Testbed:
+    return build_testbed(link_spec=CSLIP_14_4)

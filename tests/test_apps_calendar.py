@@ -1,0 +1,174 @@
+"""Calendar application tests."""
+
+import pytest
+
+from repro.apps.calendar import CalendarMerge, CalendarReplica, install_calendar
+from repro.core.notification import EventType
+from repro.net.link import ETHERNET_10M, IntervalTrace
+from repro.testbed import build_multi_client_testbed
+from repro.workloads import CalendarOp, generate_calendar_ops
+
+
+def add(event_id, slot, room="room0", alts=()):
+    return CalendarOp(
+        op="add",
+        event_id=event_id,
+        title=event_id,
+        room=room,
+        slot=slot,
+        alt_slots=list(alts),
+    )
+
+
+def make_two_replicas(policies=None):
+    bed = build_multi_client_testbed(
+        2, link_spec=ETHERNET_10M, policies=policies
+    )
+    urn, merge = install_calendar(bed.server)
+    replicas = [CalendarReplica(c.access, urn) for c in bed.clients]
+    for replica in replicas:
+        replica.checkout().wait(bed.sim)
+    return bed, urn, merge, replicas
+
+
+class TestLocalOperations:
+    def test_add_move_cancel_cycle(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        a.apply_op(add("e1", 3))
+        a.apply_op(CalendarOp(op="move", event_id="e1", new_slot=7))
+        assert a.events()["e1"]["slot"] == 7
+        a.apply_op(CalendarOp(op="cancel", event_id="e1"))
+        assert "e1" not in a.events()
+
+    def test_updates_are_tentative_until_committed(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        a.apply_op(add("e1", 3))
+        assert a.tentative
+        bed.sim.run(until=bed.sim.now + 30)
+        assert not a.tentative
+
+    def test_unknown_op_rejected(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        with pytest.raises(ValueError):
+            a.apply_op(CalendarOp(op="explode", event_id="x"))
+
+
+class TestConcurrentUpdates:
+    def test_disjoint_adds_merge(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        a.apply_op(add("a1", 3))
+        b.apply_op(add("b1", 9))
+        bed.sim.run(until=60)
+        server_events = bed.server.get_object(str(urn)).data["events"]
+        assert set(server_events) == {"a1", "b1"}
+        assert len(a.conflicts) == 0 and len(b.conflicts) == 0
+
+    def test_double_booking_auto_reslots(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        a.apply_op(add("a1", 3, alts=[8, 9]))
+        b.apply_op(add("b1", 3, alts=[9, 10]))
+        bed.sim.run(until=60)
+        server_events = bed.server.get_object(str(urn)).data["events"]
+        slots = {eid: e["slot"] for eid, e in server_events.items()}
+        assert len(set(slots.values())) == 2  # no longer double-booked
+        assert merge.reslotted == 1
+
+    def test_double_booking_different_rooms_ok(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        a.apply_op(add("a1", 3, room="room0"))
+        b.apply_op(add("b1", 3, room="room1"))
+        bed.sim.run(until=60)
+        server_events = bed.server.get_object(str(urn)).data["events"]
+        assert len(server_events) == 2
+        assert merge.reslotted == 0
+
+    def test_no_free_alternate_is_manual_conflict(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        a.apply_op(add("a1", 3, alts=[]))
+        b.apply_op(add("b1", 3, alts=[]))  # no alternates to fall back on
+        bed.sim.run(until=60)
+        conflicts = len(a.conflicts) + len(b.conflicts)
+        assert conflicts == 1
+        server_events = bed.server.get_object(str(urn)).data["events"]
+        assert len(server_events) == 1  # loser's update not applied
+
+    def test_same_event_edited_on_both_is_conflict(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        a.apply_op(add("shared", 3))
+        bed.sim.run(until=30)  # committed; B re-imports the fresh copy
+        b.checkout(refresh=True).wait(bed.sim)
+        a.apply_op(CalendarOp(op="move", event_id="shared", new_slot=5))
+        b.apply_op(CalendarOp(op="move", event_id="shared", new_slot=9))
+        bed.sim.run(until=90)
+        assert len(a.conflicts) + len(b.conflicts) == 1
+
+    def test_auto_reslot_disabled_reports_conflict(self):
+        bed = build_multi_client_testbed(2, link_spec=ETHERNET_10M)
+        urn, merge = install_calendar(bed.server, auto_reslot=False)
+        a, b = [CalendarReplica(c.access, urn) for c in bed.clients]
+        a.checkout().wait(bed.sim)
+        b.checkout().wait(bed.sim)
+        a.apply_op(add("a1", 3, alts=[8]))
+        b.apply_op(add("b1", 3, alts=[9]))
+        bed.sim.run(until=60)
+        assert len(a.conflicts) + len(b.conflicts) == 1
+
+
+class TestDisconnectedWorkflows:
+    def test_disconnected_replicas_converge_on_reconnect(self):
+        policies = [
+            IntervalTrace([(0.0, 5.0), (100.0, 1e9)]),
+            IntervalTrace([(0.0, 5.0), (150.0, 1e9)]),
+        ]
+        bed, urn, merge, (a, b) = make_two_replicas(policies=policies)
+        bed.sim.run(until=10)  # both now disconnected
+        a.apply_op(add("a1", 1))
+        a.apply_op(add("a2", 2))
+        b.apply_op(add("b1", 11))
+        assert a.tentative and b.tentative
+        bed.sim.run(until=300)
+        server_events = bed.server.get_object(str(urn)).data["events"]
+        assert set(server_events) == {"a1", "a2", "b1"}
+        assert not a.tentative and not b.tentative
+
+    def test_generated_workload_merges_mostly_clean(self):
+        bed, urn, merge, (a, b) = make_two_replicas()
+        ops_a = generate_calendar_ops(seed=11, replica="A", n_ops=10)
+        ops_b = generate_calendar_ops(seed=11, replica="B", n_ops=10)
+        for op in ops_a:
+            a.apply_op(op)
+        for op in ops_b:
+            b.apply_op(op)
+        bed.sim.run(until=600)
+        server_events = bed.server.get_object(str(urn)).data["events"]
+        # Event ids are replica-prefixed, so all adds that survived
+        # local cancels should be present (modulo manual conflicts).
+        conflicts = len(a.conflicts) + len(b.conflicts)
+        assert len(server_events) > 0
+        if conflicts == 0:
+            a_live = {e.event_id for e in ops_a if e.op == "add"} - {
+                e.event_id for e in ops_a if e.op == "cancel"
+            }
+            assert a_live <= set(server_events)
+
+
+class TestCalendarMergeUnit:
+    def test_base_none_unresolved(self):
+        assert not CalendarMerge().resolve(None, {}, {}).resolved
+
+    def test_client_cancel_of_unchanged_event_merges(self):
+        base = {"events": {"e": {"title": "t", "room": "r", "slot": 1, "alt_slots": []}}}
+        server = {"events": dict(base["events"])}
+        client = {"events": {}}
+        result = CalendarMerge().resolve(base, server, client)
+        assert result.resolved
+        assert result.merged_value["events"] == {}
+
+    def test_identical_edits_both_sides_merge(self):
+        event = {"title": "t", "room": "r", "slot": 2, "alt_slots": []}
+        base = {"events": {"e": {"title": "t", "room": "r", "slot": 1, "alt_slots": []}}}
+        server = {"events": {"e": dict(event)}}
+        client = {"events": {"e": dict(event)}}
+        result = CalendarMerge().resolve(base, server, client)
+        assert result.resolved
+        assert result.merged_value["events"]["e"]["slot"] == 2

@@ -1,0 +1,162 @@
+"""Mail application tests."""
+
+import pytest
+
+from repro.apps.mail import (
+    BlockingMailReader,
+    FolderMerge,
+    MailServerApp,
+    MessageMerge,
+    RoverMailReader,
+)
+from repro.core.notification import EventType
+from repro.net.link import CSLIP_14_4, ETHERNET_10M, IntervalTrace
+from repro.net.transport import RpcError
+from repro.testbed import build_multi_client_testbed, build_testbed
+from repro.workloads import generate_mail_corpus
+
+
+@pytest.fixture
+def mail_bed():
+    bed = build_testbed(link_spec=ETHERNET_10M)
+    corpus = generate_mail_corpus(seed=3, n_folders=2, messages_per_folder=6)
+    app = MailServerApp(bed.server, corpus)
+    reader = RoverMailReader(bed.access, bed.authority)
+    return bed, app, corpus, reader
+
+
+def test_open_folder_lists_index(mail_bed):
+    bed, app, corpus, reader = mail_bed
+    folder = reader.open_folder("inbox").wait(bed.sim)
+    index = folder.data["index"]
+    assert len(index) == 6
+    assert {entry["id"] for entry in index} == {m.msg_id for m in corpus.folders["inbox"]}
+
+
+def test_folder_index_local_invocation(mail_bed):
+    bed, app, corpus, reader = mail_bed
+    reader.open_folder("inbox").wait(bed.sim)
+    index = reader.folder_index("inbox")
+    assert len(index) == 6
+
+
+def test_read_message_marks_read_at_server(mail_bed):
+    bed, app, corpus, reader = mail_bed
+    folder = reader.open_folder("inbox").wait(bed.sim)
+    msg_id = folder.data["index"][0]["id"]
+    message = reader.read_message("inbox", msg_id).wait(bed.sim)
+    assert message.data["body"]
+    bed.access.drain()
+    server_copy = bed.server.get_object(str(reader.message_urn("inbox", msg_id)))
+    assert server_copy.data["flags"]["read"] is True
+
+
+def test_prefetch_fills_cache_then_reads_hit(mail_bed):
+    bed, app, corpus, reader = mail_bed
+    reader.prefetch_folder("inbox").wait(bed.sim)
+    bed.access.drain()
+    assert len(bed.access.cache) == 7  # folder + 6 messages
+    for entry in reader.folder_index("inbox"):
+        reader.read_message("inbox", entry["id"])
+    assert reader.cache_hit_reads == 6
+
+
+def test_send_appends_to_outbox_and_merges():
+    """Two clients append to the same outbox while both are dirty."""
+    bed = build_multi_client_testbed(2, link_spec=ETHERNET_10M)
+    app = MailServerApp(bed.server)
+    app.create_folder("outbox")
+    readers = [
+        RoverMailReader(client.access, bed.authority) for client in bed.clients
+    ]
+    for reader in readers:
+        reader.open_folder("outbox").wait(bed.sim)
+    # Both append concurrently (same base version).
+    readers[0].send_message("outbox", {"id": "m-a", "subject": "from A", "body": "x"})
+    readers[1].send_message("outbox", {"id": "m-b", "subject": "from B", "body": "y"})
+    bed.sim.run(until=60)
+    server_index = bed.server.get_object(str(app.folder_urn("outbox"))).data["index"]
+    assert {e["id"] for e in server_index} == {"m-a", "m-b"}
+    assert bed.server.exports_resolved >= 1  # one side merged via resolver
+
+
+def test_concurrent_flag_updates_merge():
+    """Reader A marks read, reader B marks deleted; flags union at server."""
+    bed = build_multi_client_testbed(2, link_spec=ETHERNET_10M)
+    corpus = generate_mail_corpus(seed=5, n_folders=1, messages_per_folder=2)
+    app = MailServerApp(bed.server, corpus)
+    msg_id = corpus.folders["inbox"][0].msg_id
+    urn = app.message_urn("inbox", msg_id)
+    a, b = bed.clients
+    a.access.import_(urn).wait(bed.sim)
+    b.access.import_(urn).wait(bed.sim)
+    a.access.invoke(str(urn), "mark_read")
+    b.access.invoke(str(urn), "mark_deleted")
+    bed.sim.run(until=60)
+    flags = bed.server.get_object(str(urn)).data["flags"]
+    assert flags["read"] is True
+    assert flags["deleted"] is True
+
+
+def test_server_side_filter_via_ship(mail_bed):
+    bed, app, corpus, reader = mail_bed
+    needle = corpus.folders["inbox"][0].body[:6].strip()
+    matches = reader.filter_folder_on_server("inbox", needle).wait(bed.sim)
+    expected = [
+        m.msg_id for m in corpus.folders["inbox"] if needle in m.body
+    ]
+    assert matches == expected
+    # Only the ship exchange hit the wire; no message bodies imported.
+    assert len(bed.access.cache) == 0
+
+
+def test_disconnected_reading_from_cache():
+    bed = build_testbed(
+        link_spec=CSLIP_14_4, policy=IntervalTrace([(0.0, 400.0), (10_000.0, 1e9)])
+    )
+    corpus = generate_mail_corpus(seed=3, n_folders=1, messages_per_folder=4)
+    MailServerApp(bed.server, corpus)
+    reader = RoverMailReader(bed.access, bed.authority)
+    reader.prefetch_folder("inbox").wait(bed.sim)
+    bed.access.drain(timeout=390)
+    bed.sim.run(until=500)  # now disconnected
+    assert not bed.link.is_up
+    for entry in reader.folder_index("inbox"):
+        message = reader.read_message("inbox", entry["id"])
+        assert message.wait(bed.sim, timeout=1.0).data["body"]
+    assert reader.cache_hit_reads == 4
+
+
+def test_blocking_reader_works_connected():
+    bed = build_testbed(link_spec=ETHERNET_10M)
+    corpus = generate_mail_corpus(seed=3, n_folders=1, messages_per_folder=3)
+    MailServerApp(bed.server, corpus)
+    blocking = BlockingMailReader(bed.client_transport, bed.server_host, bed.authority)
+    index = blocking.folder_index("inbox")
+    assert len(index) == 3
+    message = blocking.read_message("inbox", index[0]["id"])
+    assert message["id"] == index[0]["id"]
+
+
+def test_blocking_reader_fails_disconnected():
+    bed = build_testbed(
+        link_spec=ETHERNET_10M, policy=IntervalTrace([(100.0, 200.0)])
+    )
+    corpus = generate_mail_corpus(seed=3, n_folders=1, messages_per_folder=3)
+    MailServerApp(bed.server, corpus)
+    blocking = BlockingMailReader(bed.client_transport, bed.server_host, bed.authority)
+    with pytest.raises(RpcError):
+        blocking.folder_index("inbox")
+
+
+class TestResolvers:
+    def test_folder_merge_requires_base(self):
+        assert not FolderMerge().resolve(None, {"index": []}, {"index": []}).resolved
+
+    def test_message_merge_unions_flags(self):
+        base = {"flags": {"read": False, "deleted": False}}
+        server = {"flags": {"read": True, "deleted": False}}
+        client = {"flags": {"read": False, "deleted": True}}
+        result = MessageMerge().resolve(base, server, client)
+        assert result.resolved
+        assert result.merged_value["flags"] == {"read": True, "deleted": True}

@@ -1,0 +1,85 @@
+"""Tests for the browser-facing HTTP front-end of the web proxy."""
+
+import pytest
+
+from repro.apps.proxy_frontend import ProxyFrontend, ScriptedBrowser
+from repro.apps.webproxy import ClickAheadProxy, WebServerApp
+from repro.net.link import CSLIP_14_4, IntervalTrace
+from repro.testbed import build_testbed
+from repro.workloads import generate_site
+
+
+def make_world(policy=None, prefetch=False):
+    site = generate_site(seed=17, n_pages=8)
+    bed = build_testbed(link_spec=CSLIP_14_4, policy=policy)
+    WebServerApp(bed.server, site)
+    proxy = ClickAheadProxy(bed.access, bed.authority, prefetch_links=prefetch,
+                            prefetch_delay_threshold_s=0.5)
+    frontend = ProxyFrontend(bed.sim, bed.client_host, proxy)
+    browser = ScriptedBrowser(bed.sim, bed.network, bed.client_host)
+    return bed, site, proxy, frontend, browser
+
+
+def test_browser_gets_page_through_proxy():
+    bed, site, proxy, frontend, browser = make_world()
+    response = browser.get_blocking(site.root)
+    assert response.status == 200
+    assert len(response.body) == site.pages[site.root].html_size
+    assert frontend.requests == 1
+
+
+def test_second_fetch_is_fast_cache_hit():
+    bed, site, proxy, frontend, browser = make_world()
+    browser.get_blocking(site.root)
+    first_latency = browser.pages_rendered[0][1]
+    browser.get_blocking(site.root)
+    second_latency = browser.pages_rendered[1][1]
+    assert second_latency < 0.1 * first_latency
+
+
+def test_long_poll_served_after_reconnect():
+    bed, site, proxy, frontend, browser = make_world(
+        policy=IntervalTrace([(50.0, 1e9)])
+    )
+    done = []
+    browser.get(site.root, on_done=lambda r: done.append((bed.sim.now, r.status)))
+    bed.sim.run(until=30.0)
+    assert done == []  # held open while disconnected
+    assert site.root in proxy.outstanding
+    bed.sim.run(until=120.0)
+    assert len(done) == 1
+    assert done[0][1] == 200
+    assert done[0][0] > 50.0
+
+
+def test_status_page_lists_outstanding_and_satisfied():
+    bed, site, proxy, frontend, browser = make_world(
+        policy=IntervalTrace([(50.0, 1e9)])
+    )
+    browser.get(site.root)  # will be outstanding
+    bed.sim.run(until=10.0)
+    status = browser.get_blocking("/rover-status", timeout=5.0)
+    text = status.body.decode()
+    assert site.root in text.split("satisfied:")[0]  # listed as outstanding
+    bed.sim.run(until=200.0)
+    status = browser.get_blocking("/rover-status", timeout=5.0)
+    assert site.root in status.body.decode().split("satisfied:")[1]
+
+
+def test_unknown_page_is_error():
+    bed, site, proxy, frontend, browser = make_world()
+    response = browser.get_blocking("/no-such-page.html", timeout=120.0)
+    assert response.status == 503
+
+
+def test_click_ahead_via_http_pipelines():
+    """Three browser tabs request pages before any has arrived."""
+    bed, site, proxy, frontend, browser = make_world()
+    urls = [site.root] + site.pages[site.root].links[:2]
+    done = []
+    for url in urls:
+        browser.get(url, on_done=lambda r, u=url: done.append(u))
+    bed.sim.run(until=0.05)  # loopback delivery of the three GETs
+    assert len(proxy.outstanding) >= 2  # queued ahead of data
+    bed.sim.run_until(lambda: len(done) == 3, timeout=3_600)
+    assert set(done) == set(urls)

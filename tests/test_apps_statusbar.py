@@ -1,0 +1,99 @@
+"""Status display tests (paper section 3.4 user notification)."""
+
+from repro.apps.statusbar import StatusBar
+from repro.net.link import CSLIP_14_4, ETHERNET_10M, IntervalTrace
+from repro.testbed import build_multi_client_testbed, build_testbed
+from tests.conftest import make_note
+
+
+def test_initial_state_reflects_link():
+    bed = build_testbed()
+    bar = StatusBar(bed.access)
+    assert bar.connected
+    assert "connected" in bar.render()
+
+    down = build_testbed(policy=IntervalTrace([(100.0, 200.0)]))
+    bar_down = StatusBar(down.access)
+    assert not bar_down.connected
+    assert "DISCONNECTED" in bar_down.render()
+
+
+def test_connectivity_transitions_tracked():
+    bed = build_testbed(policy=IntervalTrace([(0.0, 10.0), (50.0, 1e9)]))
+    bar = StatusBar(bed.access)
+    bed.sim.run(until=20.0)
+    assert not bar.connected
+    bed.sim.run(until=60.0)
+    assert bar.connected
+    assert "link DOWN" in bar.render_ticker()
+    assert "link up" in bar.render_ticker()
+
+
+def test_outstanding_requests_counted():
+    bed = build_testbed(link_spec=CSLIP_14_4, policy=IntervalTrace([(100.0, 1e9)]))
+    bar = StatusBar(bed.access)
+    note = make_note()
+    bed.server.put_object(note)
+    bed.access.import_(note.urn)
+    bed.sim.run(until=10.0)
+    assert bar.pending == 1
+    assert "1 request(s) outstanding" in bar.render()
+    bed.sim.run(until=200.0)
+    assert bar.pending == 0
+    assert "all data committed" in bar.render()
+
+
+def test_tentative_objects_dimmed_until_commit():
+    bed = build_testbed(policy=IntervalTrace([(0.0, 1.0), (100.0, 1e9)]))
+    bar = StatusBar(bed.access)
+    note = make_note()
+    bed.server.put_object(note)
+    bed.access.import_(note.urn).wait(bed.sim)
+    bed.sim.run(until=10.0)
+    bed.access.invoke(note.urn, "set_text", "offline edit")
+    assert bar.is_dimmed(str(note.urn))
+    assert "1 tentative object(s)" in bar.render()
+    bed.sim.run(until=200.0)
+    assert not bar.is_dimmed(str(note.urn))
+    assert "committed" in bar.render_ticker()
+
+
+def test_conflicts_surface_prominently():
+    bed = build_multi_client_testbed(2, link_spec=ETHERNET_10M)
+    note = make_note()
+    bed.server.put_object(note)
+    a, b = bed.clients
+    bar = StatusBar(a.access)
+    a.access.import_(note.urn).wait(bed.sim)
+    b.access.import_(note.urn).wait(bed.sim)
+    # Unresolvable concurrent edits (no resolver for type "note").
+    a.access.invoke(str(note.urn), "set_text", "A")
+    b.access.invoke(str(note.urn), "set_text", "B")
+    bed.sim.run(until=60.0)
+    loser_bars = [bar, StatusBar(b.access)]
+    rendered = bar.render()
+    # Exactly one side lost; if it was A, the bar shows it.
+    total_conflicts = len(bar.conflicts)
+    assert total_conflicts in (0, 1)
+    if total_conflicts:
+        assert "CONFLICT" in rendered
+        assert "CONFLICT" in bar.render_ticker()
+
+
+def test_auto_merge_noted_in_ticker():
+    from repro.apps.mail import MailServerApp, RoverMailReader
+    bed = build_multi_client_testbed(2, link_spec=ETHERNET_10M)
+    app = MailServerApp(bed.server)
+    app.create_folder("out")
+    a, b = bed.clients
+    bar = StatusBar(a.access)
+    reader_a = RoverMailReader(a.access, bed.authority)
+    reader_b = RoverMailReader(b.access, bed.authority)
+    reader_a.open_folder("out").wait(bed.sim)
+    reader_b.open_folder("out").wait(bed.sim)
+    reader_a.send_message("out", {"id": "m-a", "subject": "s", "body": "x"})
+    reader_b.send_message("out", {"id": "m-b", "subject": "s", "body": "y"})
+    bed.sim.run(until=60.0)
+    tickers = bar.render_ticker() + StatusBar(b.access).render_ticker()
+    # One side committed plainly; the other was auto-merged.
+    assert "committed" in bar.render_ticker() or "auto-merged" in bar.render_ticker()

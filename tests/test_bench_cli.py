@@ -1,0 +1,43 @@
+"""CLI runner tests (python -m repro.bench)."""
+
+import os
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, RAW, main, write_csv
+
+
+def test_list_prints_all_ids(capsys):
+    assert main(["--list"]) == 0
+    printed = capsys.readouterr().out.split()
+    assert set(printed) == set(EXPERIMENTS)
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["e999"])
+
+
+def test_single_experiment_renders_table(capsys):
+    assert main(["e3"]) == 0
+    out = capsys.readouterr().out
+    assert "local cached invocation" in out
+    assert "cslip-14.4k" in out
+
+
+def test_csv_export(tmp_path, capsys):
+    assert main(["e3", "--csv", str(tmp_path)]) == 0
+    path = tmp_path / "e3.csv"
+    assert path.exists()
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith("link,")
+    assert len(lines) == 5  # header + four links
+
+
+def test_write_csv_skips_table_only_experiments(tmp_path):
+    written = write_csv(str(tmp_path), ["e6"])  # e6 has no RAW producer
+    assert written == []
+
+
+def test_every_raw_producer_is_a_known_experiment():
+    assert set(RAW) <= set(EXPERIMENTS)

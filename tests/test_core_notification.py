@@ -1,0 +1,83 @@
+"""Notification center unit tests."""
+
+from repro.core.notification import EventType, NotificationCenter
+
+
+def test_subscribe_and_publish():
+    center = NotificationCenter()
+    seen = []
+    center.subscribe(EventType.OBJECT_IMPORTED, seen.append)
+    note = center.publish(EventType.OBJECT_IMPORTED, 1.5, urn="u", version=3)
+    assert seen == [note]
+    assert note.details == {"urn": "u", "version": 3}
+    assert note.time == 1.5
+
+
+def test_subscribers_filtered_by_type():
+    center = NotificationCenter()
+    imports, conflicts = [], []
+    center.subscribe(EventType.OBJECT_IMPORTED, imports.append)
+    center.subscribe(EventType.CONFLICT_DETECTED, conflicts.append)
+    center.publish(EventType.OBJECT_IMPORTED, 0.0)
+    center.publish(EventType.CONFLICT_DETECTED, 1.0)
+    center.publish(EventType.OBJECT_IMPORTED, 2.0)
+    assert len(imports) == 2
+    assert len(conflicts) == 1
+
+
+def test_subscribe_all_sees_everything():
+    center = NotificationCenter()
+    everything = []
+    center.subscribe_all(everything.append)
+    center.publish(EventType.REQUEST_QUEUED, 0.0)
+    center.publish(EventType.CACHE_EVICTED, 1.0)
+    assert [n.event for n in everything] == [
+        EventType.REQUEST_QUEUED,
+        EventType.CACHE_EVICTED,
+    ]
+
+
+def test_unsubscribe():
+    center = NotificationCenter()
+    seen = []
+    center.subscribe(EventType.REQUEST_SENT, seen.append)
+    center.unsubscribe(EventType.REQUEST_SENT, seen.append)
+    center.publish(EventType.REQUEST_SENT, 0.0)
+    assert seen == []
+    # Unsubscribing a never-subscribed handler is a no-op.
+    center.unsubscribe(EventType.REQUEST_SENT, seen.append)
+
+
+def test_history_and_counts():
+    center = NotificationCenter()
+    for t in range(3):
+        center.publish(EventType.REQUEST_QUEUED, float(t))
+    center.publish(EventType.REQUEST_FAILED, 9.0, reason="x")
+    assert center.count(EventType.REQUEST_QUEUED) == 3
+    assert center.count(EventType.REQUEST_FAILED) == 1
+    assert [n.time for n in center.of_type(EventType.REQUEST_QUEUED)] == [0.0, 1.0, 2.0]
+
+
+def test_history_can_be_disabled():
+    center = NotificationCenter(keep_history=False)
+    center.publish(EventType.REQUEST_QUEUED, 0.0)
+    assert center.history == []
+    assert center.count(EventType.REQUEST_QUEUED) == 0
+
+
+def test_subscriber_added_during_publish_not_invoked_for_same_event():
+    center = NotificationCenter()
+    calls = []
+
+    def late(notification):
+        calls.append("late")
+
+    def adder(notification):
+        calls.append("adder")
+        center.subscribe(EventType.REQUEST_QUEUED, late)
+
+    center.subscribe(EventType.REQUEST_QUEUED, adder)
+    center.publish(EventType.REQUEST_QUEUED, 0.0)
+    assert calls == ["adder"]
+    center.publish(EventType.REQUEST_QUEUED, 1.0)
+    assert "late" in calls

@@ -1,0 +1,124 @@
+"""Operation log tests: pending tracking, recovery, at-most-once."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operation_log import OperationLog
+from repro.core.qrpc import Operation, QRPCRequest
+from repro.storage.stable_log import MemoryLogBackend, StableLog
+
+
+def make_request(n: int, op: Operation = Operation.IMPORT) -> QRPCRequest:
+    return QRPCRequest(f"client/{n}", "", op, f"urn:rover:s/obj{n}")
+
+
+def test_append_makes_pending():
+    log = OperationLog()
+    flush_time = log.append(make_request(0))
+    assert flush_time > 0
+    assert log.pending_count() == 1
+    assert log.get("client/0") is not None
+
+
+def test_acknowledge_removes_pending():
+    log = OperationLog()
+    log.append(make_request(0))
+    log.acknowledge("client/0")
+    assert log.pending_count() == 0
+    assert log.get("client/0") is None
+
+
+def test_duplicate_acknowledge_is_noop():
+    log = OperationLog()
+    log.append(make_request(0))
+    assert log.acknowledge("client/0") > 0
+    assert log.acknowledge("client/0") == 0.0
+    assert log.acknowledge("never-seen") == 0.0
+
+
+def test_pending_ordered_oldest_first():
+    log = OperationLog()
+    for n in range(5):
+        log.append(make_request(n))
+    log.acknowledge("client/2")
+    assert [r.request_id for r in log.pending()] == [
+        "client/0", "client/1", "client/3", "client/4",
+    ]
+
+
+def test_recovery_after_crash_restores_pending():
+    stable = StableLog(MemoryLogBackend())
+    log = OperationLog(stable)
+    log.append(make_request(0))
+    log.append(make_request(1))
+    log.acknowledge("client/0")
+
+    # Simulated restart: a new OperationLog over the same backend.
+    recovered = OperationLog(StableLog(stable.backend))
+    assert [r.request_id for r in recovered.pending()] == ["client/1"]
+
+
+def test_crash_before_flush_loses_nothing_already_flushed():
+    stable = StableLog(MemoryLogBackend())
+    log = OperationLog(stable)
+    log.append(make_request(0))  # append() flushes internally
+    stable.crash()
+    recovered = OperationLog(StableLog(stable.backend))
+    assert recovered.pending_count() == 1
+
+
+def test_request_content_survives_recovery():
+    stable = StableLog(MemoryLogBackend())
+    log = OperationLog(stable)
+    request = QRPCRequest(
+        "client/0", "sess", Operation.EXPORT, "urn:rover:s/x",
+        args={"data": {"k": [1, 2]}, "base_version": 3},
+    )
+    log.append(request)
+    recovered = OperationLog(StableLog(stable.backend))
+    restored = recovered.pending()[0]
+    assert restored.operation is Operation.EXPORT
+    assert restored.args == {"data": {"k": [1, 2]}, "base_version": 3}
+
+
+def test_fully_acked_log_truncates_to_empty():
+    log = OperationLog()
+    for n in range(3):
+        log.append(make_request(n))
+    for n in range(3):
+        log.acknowledge(f"client/{n}")
+    assert log.stable.records() == []
+
+
+def test_mark_failed_removes_pending():
+    log = OperationLog()
+    log.append(make_request(0))
+    log.mark_failed("client/0")
+    assert log.pending_count() == 0
+
+
+@settings(max_examples=60)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["append", "ack"]), st.integers(0, 9)),
+        max_size=40,
+    )
+)
+def test_recovery_matches_live_state(ops):
+    """Property: recovering from the durable log reproduces exactly the
+    live pending set, for any interleaving of appends and acks."""
+    stable = StableLog(MemoryLogBackend())
+    log = OperationLog(stable)
+    appended = set()
+    for action, n in ops:
+        request_id = f"client/{n}"
+        if action == "append" and n not in appended:
+            log.append(make_request(n))
+            appended.add(n)
+        elif action == "ack":
+            log.acknowledge(request_id)
+
+    recovered = OperationLog(StableLog(stable.backend))
+    live_ids = sorted(r.request_id for r in log.pending())
+    recovered_ids = sorted(r.request_id for r in recovered.pending())
+    assert recovered_ids == live_ids

@@ -1,0 +1,103 @@
+"""Promise tests."""
+
+import pytest
+
+from repro.core.promise import Promise, PromiseError
+from repro.sim import Simulator
+
+
+def test_resolve_and_result():
+    promise = Promise("p")
+    promise.resolve(42)
+    assert promise.ready
+    assert promise.result() == 42
+
+
+def test_result_before_resolution_raises():
+    promise = Promise("p")
+    with pytest.raises(PromiseError, match="not yet resolved"):
+        promise.result()
+
+
+def test_reject_and_error():
+    promise = Promise("p")
+    promise.reject("link down")
+    assert promise.failed
+    assert promise.error == "link down"
+    with pytest.raises(PromiseError, match="link down"):
+        promise.result()
+
+
+def test_resolution_is_idempotent():
+    promise = Promise("p")
+    promise.resolve(1)
+    promise.resolve(2)
+    promise.reject("late")
+    assert promise.result() == 1
+
+
+def test_reject_then_resolve_keeps_failure():
+    promise = Promise("p")
+    promise.reject("bad")
+    promise.resolve(1)
+    assert promise.failed
+
+
+def test_then_callback_on_success_only():
+    promise = Promise("p")
+    values = []
+    promise.then(values.append)
+    promise.resolve("v")
+    assert values == ["v"]
+
+    failing = Promise("f")
+    failing.then(values.append)
+    failing.reject("nope")
+    assert values == ["v"]
+
+
+def test_on_failure_callback():
+    promise = Promise("p")
+    errors = []
+    promise.on_failure(errors.append)
+    promise.reject("oops")
+    assert errors == ["oops"]
+
+
+def test_callbacks_after_completion_fire_immediately():
+    promise = Promise("p")
+    promise.resolve(9)
+    values = []
+    promise.then(values.append)
+    assert values == [9]
+
+
+def test_wait_runs_simulator():
+    sim = Simulator()
+    promise = Promise("p")
+    sim.schedule(5.0, promise.resolve, "later")
+    assert promise.wait(sim) == "later"
+    assert sim.now == 5.0
+
+
+def test_wait_with_failure_raises():
+    sim = Simulator()
+    promise = Promise("p")
+    sim.schedule(1.0, promise.reject, "bad")
+    with pytest.raises(PromiseError, match="bad"):
+        promise.wait(sim)
+
+
+def test_process_can_yield_promise():
+    sim = Simulator()
+    promise = Promise("p")
+    got = []
+
+    def actor():
+        value = yield promise
+        got.append((sim.now, value))
+
+    sim.spawn(actor())
+    sim.schedule(3.0, promise.resolve, "x")
+    sim.run()
+    assert got == [(3.0, "x")]

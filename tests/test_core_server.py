@@ -1,0 +1,229 @@
+"""Rover server tests: import/export/invoke/ship, conflicts, at-most-once."""
+
+import pytest
+
+from repro.core.conflict import AppendMerge, FieldwiseMerge, ResolverRegistry
+from repro.core.naming import URN
+from repro.core.rdo import RDO, MethodSpec, RDOInterface
+from repro.core.server import RoverServer
+from repro.net.link import ETHERNET_10M
+from repro.net.simnet import Network
+from repro.net.transport import Transport
+from repro.sim import Simulator
+from tests.conftest import make_note
+
+SRC = ("client", 0)
+
+
+@pytest.fixture
+def server():
+    sim = Simulator()
+    net = Network(sim)
+    host = net.host("server")
+    transport = Transport(sim, host)
+    return RoverServer(sim, transport, "server")
+
+
+def test_put_and_get_object(server):
+    note = make_note()
+    version = server.put_object(note)
+    assert version == 1
+    stored = server.get_object(str(note.urn))
+    assert stored.data == {"text": "hello"}
+    assert stored.version == 1
+
+
+def test_import_returns_current_copy(server):
+    note = make_note()
+    server.put_object(note)
+    reply = server._on_import({"urn": str(note.urn)}, SRC)
+    assert reply["status"] == "ok"
+    assert reply["version"] == 1
+    assert reply["rdo"]["data"] == {"text": "hello"}
+
+
+def test_import_missing_object(server):
+    reply = server._on_import({"urn": "urn:rover:server/none"}, SRC)
+    assert reply["status"] == "not-found"
+
+
+def test_export_commits_on_matching_base(server):
+    note = make_note()
+    server.put_object(note)
+    reply = server._on_export(
+        {
+            "urn": str(note.urn),
+            "base_version": 1,
+            "data": {"text": "updated"},
+            "request_id": "c/0",
+        },
+        SRC,
+    )
+    assert reply["status"] == "committed"
+    assert reply["version"] == 2
+    assert server.get_object(str(note.urn)).data == {"text": "updated"}
+    assert server.exports_committed == 1
+
+
+def test_export_conflict_without_resolver(server):
+    note = make_note()
+    server.put_object(note)
+    # Another client commits first.
+    server._on_export(
+        {"urn": str(note.urn), "base_version": 1, "data": {"text": "A"}, "request_id": "a/0"},
+        SRC,
+    )
+    reply = server._on_export(
+        {"urn": str(note.urn), "base_version": 1, "data": {"text": "B"}, "request_id": "b/0"},
+        SRC,
+    )
+    assert reply["status"] == "conflict"
+    report = reply["conflict"]
+    assert report["base_version"] == 1
+    assert report["server_version"] == 2
+    assert report["server_value"] == {"text": "A"}
+    assert server.exports_conflicted == 1
+    # The conflicting update did not clobber the committed one.
+    assert server.get_object(str(note.urn)).data == {"text": "A"}
+
+
+def test_export_resolved_with_type_resolver():
+    sim = Simulator()
+    net = Network(sim)
+    transport = Transport(sim, net.host("server"))
+    registry = ResolverRegistry()
+    registry.register("note", FieldwiseMerge())
+    server = RoverServer(sim, transport, "server", resolvers=registry)
+
+    urn = URN("server", "doc")
+    server.put_object(RDO(urn, "note", {"a": 1, "b": 2}))
+    server._on_export(
+        {"urn": str(urn), "base_version": 1, "data": {"a": 10, "b": 2}, "request_id": "x/0"},
+        SRC,
+    )
+    reply = server._on_export(
+        {"urn": str(urn), "base_version": 1, "data": {"a": 1, "b": 20}, "request_id": "y/0"},
+        SRC,
+    )
+    assert reply["status"] == "resolved"
+    assert reply["value"] == {"a": 10, "b": 20}
+    assert server.exports_resolved == 1
+
+
+def test_export_at_most_once(server):
+    note = make_note()
+    server.put_object(note)
+    body = {
+        "urn": str(note.urn),
+        "base_version": 1,
+        "data": {"text": "once"},
+        "request_id": "c/7",
+    }
+    first = server._on_export(body, SRC)
+    second = server._on_export(body, SRC)  # retransmission
+    assert first == second
+    assert server.get_object(str(note.urn)).version == 2  # applied once
+    assert server.duplicates_suppressed == 1
+
+
+def test_invoke_read_method(server):
+    note = make_note(text="abc")
+    server.put_object(note)
+    reply = server._on_invoke(
+        {"urn": str(note.urn), "method": "length", "args": [], "request_id": "c/0"},
+        SRC,
+    )
+    # Server charges compute time via DelayedReply.
+    assert reply.body["status"] == "ok"
+    assert reply.body["result"] == 3
+    assert reply.delay_s > 0
+
+
+def test_invoke_mutating_method_bumps_version(server):
+    note = make_note()
+    server.put_object(note)
+    reply = server._on_invoke(
+        {
+            "urn": str(note.urn),
+            "method": "set_text",
+            "args": ["server-side"],
+            "request_id": "c/0",
+        },
+        SRC,
+    )
+    assert reply.body["version"] == 2
+    assert server.get_object(str(note.urn)).data == {"text": "server-side"}
+
+
+def test_invoke_at_most_once(server):
+    note = make_note()
+    server.put_object(note)
+    body = {
+        "urn": str(note.urn),
+        "method": "set_text",
+        "args": ["v"],
+        "request_id": "c/9",
+    }
+    server._on_invoke(body, SRC)
+    duplicate = server._on_invoke(body, SRC)
+    # Duplicate returns the cached reply (no DelayedReply, no re-execution).
+    assert duplicate["version"] == 2
+    assert server.get_object(str(note.urn)).version == 2
+
+
+def test_ship_executes_with_store_access(server):
+    for n in range(3):
+        server.put_object(
+            RDO(URN("server", f"nums/{n}"), "num", {"value": n * 10})
+        )
+    code = (
+        "def main(prefix):\n"
+        "    total = 0\n"
+        "    for key in objects(prefix):\n"
+        "        total = total + lookup(key)['value']\n"
+        "    return total\n"
+    )
+    reply = server._on_ship(
+        {"code": code, "method": "main", "args": ["urn:rover:server/nums/"], "request_id": "c/0"},
+        SRC,
+    )
+    assert reply.body["result"] == 30
+    assert server.ships_served == 1
+
+
+def test_ship_rejects_unsafe_code(server):
+    reply = None
+    with pytest.raises(Exception):
+        server._on_ship(
+            {"code": "import os\n", "method": "main", "args": [], "request_id": "c/0"},
+            SRC,
+        )
+
+
+def test_history_enables_three_way_merge():
+    sim = Simulator()
+    net = Network(sim)
+    transport = Transport(sim, net.host("server"))
+    registry = ResolverRegistry()
+    registry.register("note", FieldwiseMerge())
+    server = RoverServer(sim, transport, "server", resolvers=registry, history_limit=2)
+    urn = URN("server", "doc")
+    server.put_object(RDO(urn, "note", {"a": 1}))
+    # Push the base version out of the bounded history.
+    for n in range(4):
+        server._on_export(
+            {
+                "urn": str(urn),
+                "base_version": n + 1,
+                "data": {"a": 1, f"k{n}": n},
+                "request_id": f"c/{n}",
+            },
+            SRC,
+        )
+    # Base version 1 fell out of history: resolver gets base=None and
+    # FieldwiseMerge declines, so this surfaces as a conflict.
+    reply = server._on_export(
+        {"urn": str(urn), "base_version": 1, "data": {"a": 2}, "request_id": "late/0"},
+        SRC,
+    )
+    assert reply["status"] == "conflict"

@@ -1,0 +1,84 @@
+"""Session guarantee tests (Bayou-style)."""
+
+import pytest
+
+from repro.core.session import Session, SessionRegistry
+
+
+def test_monotonic_reads():
+    session = Session("s")
+    session.record_read("urn:rover:a/x", 5)
+    assert session.acceptable("urn:rover:a/x", 5)
+    assert session.acceptable("urn:rover:a/x", 7)
+    assert not session.acceptable("urn:rover:a/x", 4)
+
+
+def test_read_your_writes():
+    session = Session("s")
+    session.record_write("urn:rover:a/x", 3)
+    assert not session.acceptable("urn:rover:a/x", 2)
+    assert session.acceptable("urn:rover:a/x", 3)
+
+
+def test_guarantees_combine():
+    session = Session("s")
+    session.record_read("urn:rover:a/x", 2)
+    session.record_write("urn:rover:a/x", 6)
+    assert session.min_acceptable_version("urn:rover:a/x") == 6
+
+
+def test_versions_only_grow():
+    session = Session("s")
+    session.record_read("urn:rover:a/x", 5)
+    session.record_read("urn:rover:a/x", 3)  # stale record ignored
+    assert session.min_acceptable_version("urn:rover:a/x") == 5
+
+
+def test_guarantees_are_per_object():
+    session = Session("s")
+    session.record_read("urn:rover:a/x", 9)
+    assert session.acceptable("urn:rover:a/y", 1)
+
+
+def test_guarantees_can_be_disabled():
+    session = Session("s", require_guarantees=False)
+    session.record_read("urn:rover:a/x", 9)
+    assert session.acceptable("urn:rover:a/x", 1)
+
+
+def test_accept_tentative_flag():
+    assert Session("s").accept_tentative
+    assert not Session("s", accept_tentative=False).accept_tentative
+
+
+def test_reads_writes_snapshots():
+    session = Session("s")
+    session.record_read("u1", 1)
+    session.record_write("u2", 2)
+    assert session.reads() == {"u1": 1}
+    assert session.writes() == {"u2": 2}
+
+
+class TestRegistry:
+    def test_ids_deterministic(self):
+        registry = SessionRegistry("client")
+        assert registry.create().session_id == "client/session0"
+        assert registry.create().session_id == "client/session1"
+
+    def test_named_sessions(self):
+        registry = SessionRegistry("client")
+        session = registry.create("mail")
+        assert session.session_id == "mail"
+        assert registry.get("mail") is session
+
+    def test_duplicate_name_rejected(self):
+        registry = SessionRegistry("client")
+        registry.create("mail")
+        with pytest.raises(ValueError):
+            registry.create("mail")
+
+    def test_len(self):
+        registry = SessionRegistry("client")
+        registry.create()
+        registry.create()
+        assert len(registry) == 2

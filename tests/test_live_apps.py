@@ -1,0 +1,109 @@
+"""The paper's applications running over real sockets (live mode).
+
+The application classes take an access manager and never look below
+it, so they run unmodified on the live substrate.
+"""
+
+import pytest
+
+from repro.apps.calendar import CALENDAR_TYPE, CalendarReplica, CalendarMerge
+from repro.apps.mail import MailServerApp, RoverMailReader, install_mail_resolvers
+from repro.core.naming import URN
+from repro.core.rdo import RDO
+from repro.live import LiveClient, LiveServer
+from repro.workloads import CalendarOp, generate_mail_corpus
+
+TIMEOUT = 15.0
+
+
+@pytest.fixture
+def live_pair():
+    server = LiveServer("server")
+    client = LiveClient("laptop", servers={"server": server.address})
+    yield server, client
+    client.close()
+    server.close()
+    assert client.clock.errors == [], client.clock.errors
+    assert server.clock.errors == [], server.clock.errors
+
+
+def test_mail_reader_over_sockets(live_pair):
+    server, client = live_pair
+    corpus = generate_mail_corpus(seed=8, n_folders=1, messages_per_folder=4)
+    MailServerApp(server.server, corpus)
+    reader = RoverMailReader(client.access, "server")
+
+    folder = reader.open_folder("inbox")
+    assert client.clock.run_until(lambda: folder.is_done, timeout=TIMEOUT)
+    index = folder.result().data["index"]
+    assert len(index) == 4
+
+    message = reader.read_message("inbox", index[0]["id"])
+    assert client.clock.run_until(lambda: message.is_done, timeout=TIMEOUT)
+    assert message.result().data["body"]
+    # The mark-read export commits over the real network.
+    assert client.clock.run_until(
+        lambda: client.access.pending_count() == 0, timeout=TIMEOUT
+    )
+    server_msg = server.get_object(
+        f"urn:rover:server/mail/inbox/{index[0]['id']}"
+    )
+    assert server_msg.data["flags"]["read"] is True
+
+
+def test_mail_prefetch_then_local_reads(live_pair):
+    server, client = live_pair
+    corpus = generate_mail_corpus(seed=8, n_folders=1, messages_per_folder=3)
+    MailServerApp(server.server, corpus)
+    reader = RoverMailReader(client.access, "server")
+    prefetch = reader.prefetch_folder("inbox")
+    assert client.clock.run_until(
+        lambda: prefetch.is_done and client.access.pending_count() == 0,
+        timeout=TIMEOUT,
+    )
+    assert len(client.access.cache) == 4  # folder + 3 bodies
+    served = server.server.imports_served
+    for entry in reader.folder_index("inbox"):
+        promise = reader.read_message("inbox", entry["id"])
+        assert client.clock.run_until(lambda: promise.is_done, timeout=TIMEOUT)
+    assert reader.cache_hit_reads == 3
+    assert server.server.imports_served == served  # all local
+
+
+def test_calendar_two_live_replicas_merge():
+    server = LiveServer("server")
+    merge = CalendarMerge()
+    server.server.resolvers.register(CALENDAR_TYPE, merge)
+    urn = URN("server", "calendar/group")
+    from repro.apps.calendar import _CALENDAR_CODE, _CALENDAR_INTERFACE
+
+    server.put_object(
+        RDO(urn, CALENDAR_TYPE, {"name": "group", "events": {}},
+            code=_CALENDAR_CODE, interface=_CALENDAR_INTERFACE)
+    )
+    alice = LiveClient("alice", servers={"server": server.address})
+    bob = LiveClient("bob", servers={"server": server.address})
+    try:
+        ra = CalendarReplica(alice.access, urn)
+        rb = CalendarReplica(bob.access, urn)
+        ca, cb = ra.checkout(), rb.checkout()
+        assert alice.clock.run_until(lambda: ca.is_done, timeout=TIMEOUT)
+        assert bob.clock.run_until(lambda: cb.is_done, timeout=TIMEOUT)
+
+        ra.apply_op(CalendarOp(op="add", event_id="a-standup", title="standup",
+                               room="fishbowl", slot=9, alt_slots=[10, 11]))
+        rb.apply_op(CalendarOp(op="add", event_id="b-review", title="review",
+                               room="fishbowl", slot=9, alt_slots=[12, 13]))
+        assert alice.clock.run_until(
+            lambda: alice.access.pending_count() == 0
+            and bob.access.pending_count() == 0,
+            timeout=TIMEOUT,
+        )
+        events = server.get_object(str(urn)).data["events"]
+        assert set(events) == {"a-standup", "b-review"}
+        slots = {(e["room"], e["slot"]) for e in events.values()}
+        assert len(slots) == 2  # the double booking was repaired live
+    finally:
+        alice.close()
+        bob.close()
+        server.close()

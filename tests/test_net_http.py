@@ -1,0 +1,144 @@
+"""HTTP front-end tests: framing, routing, client correlation."""
+
+import pytest
+
+from repro.net.http import (
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    decode_request,
+    decode_response,
+)
+from repro.net.link import ETHERNET_10M, IntervalTrace, LinkSpec
+from repro.net.simnet import Network
+from repro.sim import Simulator
+
+
+class TestFraming:
+    def test_request_roundtrip(self):
+        request = HttpRequest("GET", "/index.html", {"Accept": "text/html"})
+        decoded = decode_request(request.encode())
+        assert decoded.method == "GET"
+        assert decoded.path == "/index.html"
+        assert decoded.headers["Accept"] == "text/html"
+        assert decoded.body == b""
+
+    def test_request_with_body(self):
+        request = HttpRequest("POST", "/submit", body=b"payload")
+        decoded = decode_request(request.encode())
+        assert decoded.body == b"payload"
+        assert decoded.headers["Content-Length"] == "7"
+
+    def test_response_roundtrip(self):
+        response = HttpResponse(200, body=b"<html></html>")
+        decoded = decode_response(response.encode())
+        assert decoded.status == 200
+        assert decoded.reason == "OK"
+        assert decoded.body == b"<html></html>"
+
+    def test_default_reasons(self):
+        assert b"404 Not Found" in HttpResponse(404).encode()
+        assert b"503 Service Unavailable" in HttpResponse(503).encode()
+
+    def test_malformed_request_rejected(self):
+        with pytest.raises(HttpError):
+            decode_request(b"GARBAGE")
+        with pytest.raises(HttpError):
+            decode_request(b"GET /\r\n\r\n")  # missing HTTP version
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(HttpError):
+            decode_response(b"NOPE 200 OK\r\n\r\n")
+
+
+def make_http_world(policy=None, spec=ETHERNET_10M):
+    sim = Simulator()
+    net = Network(sim)
+    client, origin = net.host("client"), net.host("origin")
+    net.connect(client, origin, spec, policy)
+    server = HttpServer(sim, origin)
+    http = HttpClient(sim, client)
+    return sim, client, origin, server, http
+
+
+def test_get_roundtrip():
+    sim, client, origin, server, http = make_http_world()
+    server.route("/", lambda req, src: HttpResponse(200, body=b"hello"))
+    responses = []
+    http.get(origin, "/index.html", responses.append, lambda e: None)
+    sim.run()
+    assert len(responses) == 1
+    assert responses[0].status == 200
+    assert responses[0].body == b"hello"
+
+
+def test_longest_prefix_routing():
+    sim, client, origin, server, http = make_http_world()
+    server.route("/", lambda req, src: HttpResponse(200, body=b"root"))
+    server.route("/api/", lambda req, src: HttpResponse(200, body=b"api"))
+    got = {}
+    http.get(origin, "/api/x", lambda r: got.update(api=r.body), lambda e: None)
+    http.get(origin, "/other", lambda r: got.update(root=r.body), lambda e: None)
+    sim.run()
+    assert got == {"api": b"api", "root": b"root"}
+
+
+def test_missing_route_is_404():
+    sim, client, origin, server, http = make_http_world()
+    server.route("/only/", lambda req, src: HttpResponse(200))
+    statuses = []
+    http.get(origin, "/elsewhere", lambda r: statuses.append(r.status), lambda e: None)
+    sim.run()
+    assert statuses == [404]
+
+
+def test_handler_exception_is_500():
+    sim, client, origin, server, http = make_http_world()
+
+    def broken(request, source):
+        raise RuntimeError("handler bug")
+
+    server.route("/", broken)
+    statuses = []
+    http.get(origin, "/x", lambda r: statuses.append(r.status), lambda e: None)
+    sim.run()
+    assert statuses == [500]
+
+
+def test_no_link_reports_error():
+    sim, client, origin, server, http = make_http_world(
+        policy=IntervalTrace([(100.0, 200.0)])
+    )
+    errors = []
+    http.get(origin, "/x", lambda r: None, errors.append)
+    sim.run(until=1.0)
+    assert errors == ["no usable link"]
+
+
+def test_concurrent_requests_correlate_by_seq():
+    sim, client, origin, server, http = make_http_world()
+
+    def echo_path(request, source):
+        return HttpResponse(200, body=request.path.encode())
+
+    server.route("/", echo_path)
+    got = {}
+    for index in range(4):
+        path = f"/p{index}"
+        http.get(origin, path, lambda r, p=path: got.update({p: r.body}), lambda e: None)
+    sim.run()
+    assert got == {f"/p{i}": f"/p{i}".encode() for i in range(4)}
+
+
+def test_timeout_on_lost_response():
+    spec = LinkSpec("slow", bandwidth_bps=8_000, latency_s=0.0, header_bytes=0)
+    # Link dies while the response is being serialized back.
+    policy = IntervalTrace([(0.0, 0.3)])
+    sim, client, origin, server, http = make_http_world(policy=policy, spec=spec)
+    server.route("/", lambda req, src: HttpResponse(200, body=b"y" * 1000))
+    outcomes = []
+    http.get(origin, "/x", lambda r: outcomes.append("ok"), outcomes.append, timeout=5.0)
+    sim.run()
+    assert outcomes == ["timeout"]

@@ -1,0 +1,142 @@
+"""Marshalling tests, including the hypothesis round-trip property."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.message import MarshalError, marshal, marshalled_size, unmarshal
+
+
+def test_scalar_roundtrips():
+    for value in [None, True, False, 0, 1, -1, 2**80, -(2**80), 0.5, -3.25, "", "héllo", b"", b"\x00\xff"]:
+        assert unmarshal(marshal(value)) == value
+
+
+def test_container_roundtrips():
+    value = {
+        "list": [1, 2, [3, {"nested": True}]],
+        "tuple": (1, "two", None),
+        "bytes": b"raw",
+        "empty": {},
+    }
+    assert unmarshal(marshal(value)) == value
+
+
+def test_tuple_list_distinction_preserved():
+    assert unmarshal(marshal((1, 2))) == (1, 2)
+    assert unmarshal(marshal([1, 2])) == [1, 2]
+    assert isinstance(unmarshal(marshal((1, 2))), tuple)
+    assert isinstance(unmarshal(marshal([1, 2])), list)
+
+
+def test_non_string_dict_keys():
+    value = {1: "a", (2, 3): "b", "s": "c"}
+    assert unmarshal(marshal(value)) == value
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(MarshalError):
+        marshal({1, 2, 3})
+    with pytest.raises(MarshalError):
+        marshal(object())
+
+
+def test_trailing_garbage_rejected():
+    data = marshal(1) + b"junk"
+    with pytest.raises(MarshalError):
+        unmarshal(data)
+
+
+def test_truncated_data_rejected():
+    data = marshal("hello world")
+    with pytest.raises(MarshalError):
+        unmarshal(data[:-3])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(MarshalError):
+        unmarshal(b"Z")
+
+
+def test_empty_input_rejected():
+    with pytest.raises(MarshalError):
+        unmarshal(b"")
+
+
+def test_marshalled_size_matches_encoding():
+    value = {"key": [1, 2, 3], "text": "abc"}
+    assert marshalled_size(value) == len(marshal(value))
+
+
+def test_size_scales_with_payload():
+    small = marshalled_size({"body": "x" * 10})
+    large = marshalled_size({"body": "x" * 10_000})
+    # 9,990 more payload bytes plus a slightly longer length varint.
+    assert 9_990 <= large - small <= 9_994
+
+
+def test_determinism():
+    value = {"a": 1, "b": [True, None, 2.5]}
+    assert marshal(value) == marshal(value)
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**100), max_value=2**100),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=200)
+@given(_values)
+def test_roundtrip_property(value):
+    assert unmarshal(marshal(value)) == value
+
+
+@settings(max_examples=50)
+@given(st.floats(allow_nan=True, allow_infinity=True))
+def test_float_roundtrip_including_specials(value):
+    result = unmarshal(marshal(value))
+    if math.isnan(value):
+        assert math.isnan(result)
+    else:
+        assert result == value
+
+
+def test_deep_nesting_rejected_on_encode():
+    deep: list = []
+    cursor = deep
+    for __ in range(200):
+        inner: list = []
+        cursor.append(inner)
+        cursor = inner
+    with pytest.raises(MarshalError, match="nesting"):
+        marshal(deep)
+
+
+def test_deep_nesting_rejected_on_decode():
+    # 300 nested single-element lists, crafted directly on the wire.
+    with pytest.raises(MarshalError, match="nesting"):
+        unmarshal(b"l\x01" * 300 + b"N")
+
+
+def test_reasonable_nesting_still_fine():
+    value: object = 1
+    for __ in range(50):
+        value = [value]
+    assert unmarshal(marshal(value)) == value

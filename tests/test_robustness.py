@@ -1,0 +1,135 @@
+"""Robustness / adversarial-input properties.
+
+Corrupt bytes off the wire, hostile RDO source, and arbitrary link
+flapping must produce clean errors or eventual completion — never
+hangs, crashes, or silent misbehaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.interpreter import (
+    CodeValidationError,
+    ExecutionBudgetExceeded,
+    ExecutionError,
+    SafeInterpreter,
+    validate_source,
+)
+from repro.net.link import LinkSpec, IntervalTrace
+from repro.net.message import MarshalError, marshal, unmarshal
+from repro.net.scheduler import NetworkScheduler
+from repro.net.simnet import Network
+from repro.net.transport import Transport
+from repro.sim import Simulator
+from repro.workloads import generate_connectivity_trace
+
+
+@settings(max_examples=300)
+@given(data=st.binary(max_size=200))
+def test_unmarshal_never_crashes_on_garbage(data):
+    """Random bytes either decode to a value or raise MarshalError."""
+    try:
+        value = unmarshal(data)
+    except MarshalError:
+        return
+    except RecursionError:
+        pytest.fail("unbounded recursion on crafted input")
+    # Anything that decodes must re-encode (possibly differently sized).
+    marshal(value)
+
+
+@settings(max_examples=150)
+@given(source=st.text(max_size=120))
+def test_validate_source_never_crashes(source):
+    """Arbitrary text is either valid restricted Python or a clean error."""
+    try:
+        validate_source(source)
+    except CodeValidationError:
+        pass
+
+
+ESCAPE_ATTEMPTS = [
+    # classic dunder ladders
+    "def f():\n    return ().__class__.__bases__\n",
+    "def f(x):\n    return x.__globals__\n",
+    "def f():\n    return [].__class__.__mro__\n",
+    # builtins resurrection
+    "def f():\n    return __builtins__\n",
+    "def f():\n    return __import__('os')\n",
+    # format-string pivots
+    'def f(x):\n    return "{0.__class__}".format(x)\n',
+    "def f(x):\n    return x.format_map({})\n",
+    # exec-family
+    "def f():\n    return eval('1+1')\n",
+    "def f():\n    return exec('pass')\n",
+    "def f():\n    return compile('1', 'x', 'eval')\n",
+    # attribute smuggling
+    "def f(x):\n    return getattr(x, '__class__')\n",
+    "def f(x):\n    return vars(x)\n",
+    "def f(x):\n    return type(x)\n",
+    # module-level state escape hatches
+    "import sys\n",
+    "from os import path\n",
+    "class Meta:\n    pass\n",
+    "def f():\n    global leak\n    leak = 1\n",
+    "def f():\n    with open('/etc/passwd') as fh:\n        return fh.read()\n",
+]
+
+
+@pytest.mark.parametrize("source", ESCAPE_ATTEMPTS)
+def test_sandbox_escape_attempts_fail(source):
+    interp = SafeInterpreter()
+    try:
+        functions = interp.load(source)
+    except CodeValidationError:
+        return  # rejected statically: good
+    # Passed validation (e.g. names like eval resolve at runtime):
+    # execution must fail cleanly, not leak capability.
+    with pytest.raises((ExecutionError, ExecutionBudgetExceeded)):
+        interp.invoke(functions, "f", object())
+
+
+def test_cpu_bomb_is_bounded():
+    interp = SafeInterpreter(step_budget=5_000)
+    functions = interp.load(
+        "def f():\n"
+        "    n = 0\n"
+        "    while True:\n"
+        "        n = n + 1\n"
+        "    return n\n"
+    )
+    with pytest.raises(ExecutionBudgetExceeded):
+        interp.invoke(functions, "f")
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_scheduler_liveness_under_random_flapping(seed):
+    """Every submitted message reaches a terminal state (delivered or
+    failed) once connectivity stabilizes — no message is stranded."""
+    sim = Simulator()
+    net = Network(sim, seed=seed)
+    a, b = net.host("a"), net.host("b")
+    trace = generate_connectivity_trace(
+        seed=seed, horizon_s=600.0, mean_up_s=20.0, mean_down_s=40.0
+    )
+    trace.append((700.0, 1e9))
+    spec = LinkSpec("flappy", 64_000.0, 0.05, header_bytes=8)
+    net.connect(a, b, spec, IntervalTrace(trace))
+    ta, tb = Transport(sim, a), Transport(sim, b)
+    tb.register("echo", lambda body, src: body)
+    scheduler = NetworkScheduler(sim, ta, max_attempts=50, base_backoff=0.5)
+    outcomes = []
+    for n in range(10):
+        scheduler.submit(
+            b,
+            "echo",
+            {"n": n, "pad": "x" * 200},
+            on_reply=lambda r: outcomes.append(("ok", r)),
+            on_failed=lambda reason: outcomes.append(("failed", reason)),
+        )
+    sim.run(until=2_000.0)
+    assert len(outcomes) == 10
+    assert scheduler.idle()

@@ -1,0 +1,174 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "latest")
+    sim.run()
+    assert fired == ["early", "late", "latest"]
+
+
+def test_same_instant_fifo_tiebreak():
+    sim = Simulator()
+    fired = []
+    for index in range(10):
+        sim.schedule(1.0, fired.append, index)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.run() == 0
+
+
+def test_run_until_time_boundary():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    executed = sim.run(until=2.0)
+    assert executed == 1
+    assert fired == ["a"]
+    assert sim.now == 2.0  # clock advances to the boundary
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    state = {"count": 0}
+
+    def tick():
+        state["count"] += 1
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    satisfied = sim.run_until(lambda: state["count"] >= 5, timeout=100)
+    assert satisfied
+    assert state["count"] == 5
+
+
+def test_run_until_times_out():
+    sim = Simulator()
+
+    def tick():
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    satisfied = sim.run_until(lambda: False, timeout=10)
+    assert not satisfied
+
+
+def test_run_until_drains_queue_without_predicate():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert not sim.run_until(lambda: False, timeout=1e9)
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    event.cancel()
+    assert sim.pending() == 1
+
+
+def test_step_runs_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_max_events_guard_trips():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=1000)
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def recurse():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0.0, recurse)
+    sim.run()
+    assert len(errors) == 1

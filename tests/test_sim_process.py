@@ -1,0 +1,153 @@
+"""Unit tests for generator-based processes and waitables."""
+
+import pytest
+
+from repro.sim import Signal, SimulationError, Simulator, Waitable, spawn
+
+
+def test_process_sleeps_in_virtual_time():
+    sim = Simulator()
+    times = []
+
+    def actor():
+        times.append(sim.now)
+        yield 2.0
+        times.append(sim.now)
+        yield 3.0
+        times.append(sim.now)
+
+    spawn(sim, actor())
+    sim.run()
+    assert times == [0.0, 2.0, 5.0]
+
+
+def test_process_result_captured():
+    sim = Simulator()
+
+    def actor():
+        yield 1.0
+        return 42
+
+    process = spawn(sim, actor())
+    sim.run()
+    assert process.result == 42
+    assert not process.alive
+
+
+def test_process_waits_on_signal():
+    sim = Simulator()
+    signal = Signal()
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append((sim.now, value))
+
+    spawn(sim, waiter())
+    sim.schedule(4.0, signal.fire, "done")
+    sim.run()
+    assert got == [(4.0, "done")]
+
+
+def test_signal_already_fired_resumes_immediately():
+    sim = Simulator()
+    signal = Signal()
+    signal.fire("early")
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_signal_fire_is_idempotent():
+    signal = Signal()
+    values = []
+    signal.add_callback(lambda w: values.append(w.value))
+    signal.fire(1)
+    signal.fire(2)
+    assert values == [1]
+    assert signal.value == 1
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def worker():
+        yield 5.0
+        order.append("worker-done")
+        return "payload"
+
+    def boss(target):
+        yield target
+        order.append(f"boss-done@{sim.now}")
+
+    worker_process = spawn(sim, worker())
+    spawn(sim, boss(worker_process))
+    sim.run()
+    assert order == ["worker-done", "boss-done@5.0"]
+
+
+def test_kill_stops_process():
+    sim = Simulator()
+    progress = []
+
+    def actor():
+        progress.append("start")
+        yield 10.0
+        progress.append("never")
+
+    process = spawn(sim, actor())
+    sim.schedule(1.0, process.kill)
+    sim.run()
+    assert progress == ["start"]
+    assert not process.alive
+    assert process.is_done
+
+
+def test_negative_sleep_raises():
+    sim = Simulator()
+
+    def actor():
+        yield -1.0
+
+    spawn(sim, actor())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bad_yield_type_raises():
+    sim = Simulator()
+
+    def actor():
+        yield "not-a-waitable"
+
+    spawn(sim, actor())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_simulator_spawn_method():
+    sim = Simulator()
+    seen = []
+
+    def actor():
+        yield 1.0
+        seen.append(sim.now)
+
+    sim.spawn(actor())
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_waitable_callback_after_done_fires_immediately():
+    waitable = Waitable()
+    waitable.fire("v")
+    seen = []
+    waitable.add_callback(lambda w: seen.append(w.value))
+    assert seen == ["v"]

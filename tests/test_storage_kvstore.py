@@ -1,0 +1,88 @@
+"""Versioned KV store tests."""
+
+import pytest
+
+from repro.storage.kvstore import KVStore, VersionMismatch
+
+
+def test_put_get_roundtrip():
+    store = KVStore()
+    version = store.put("k", {"a": 1})
+    assert version == 1
+    assert store.get("k") == ({"a": 1}, 1)
+
+
+def test_versions_increment_per_key():
+    store = KVStore()
+    assert store.put("k", "v1") == 1
+    assert store.put("k", "v2") == 2
+    assert store.put("other", "x") == 1
+
+
+def test_get_missing_raises():
+    store = KVStore()
+    with pytest.raises(KeyError):
+        store.get("absent")
+
+
+def test_get_value_default():
+    store = KVStore()
+    assert store.get_value("absent") is None
+    assert store.get_value("absent", 42) == 42
+
+
+def test_version_of_missing_is_none():
+    store = KVStore()
+    assert store.version("absent") is None
+
+
+def test_put_if_version_success():
+    store = KVStore()
+    store.put("k", "v1")
+    assert store.put_if_version("k", "v2", 1) == 2
+    assert store.get("k") == ("v2", 2)
+
+
+def test_put_if_version_conflict():
+    store = KVStore()
+    store.put("k", "v1")
+    store.put("k", "v2")
+    with pytest.raises(VersionMismatch) as excinfo:
+        store.put_if_version("k", "v3", 1)
+    assert excinfo.value.expected == 1
+    assert excinfo.value.actual == 2
+
+
+def test_put_if_version_zero_means_create():
+    store = KVStore()
+    assert store.put_if_version("new", "v", 0) == 1
+    with pytest.raises(VersionMismatch):
+        store.put_if_version("new", "again", 0)
+
+
+def test_delete():
+    store = KVStore()
+    store.put("k", "v")
+    assert store.delete("k")
+    assert not store.delete("k")
+    assert "k" not in store
+
+
+def test_contains_len_keys():
+    store = KVStore()
+    store.put("a", 1)
+    store.put("b", 2)
+    assert "a" in store and "b" in store
+    assert len(store) == 2
+    assert sorted(store.keys()) == ["a", "b"]
+
+
+def test_snapshot_restore():
+    store = KVStore()
+    store.put("k", "v1")
+    snapshot = store.snapshot()
+    store.put("k", "v2")
+    store.put("extra", "x")
+    store.restore(snapshot)
+    assert store.get("k") == ("v1", 1)
+    assert "extra" not in store

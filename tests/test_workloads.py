@@ -1,0 +1,148 @@
+"""Workload generator tests: determinism and parameter envelopes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    generate_calendar_ops,
+    generate_connectivity_trace,
+    generate_mail_corpus,
+    generate_site,
+)
+
+
+class TestMailCorpus:
+    def test_deterministic(self):
+        a = generate_mail_corpus(seed=5)
+        b = generate_mail_corpus(seed=5)
+        assert a.folders.keys() == b.folders.keys()
+        for folder in a.folders:
+            assert [m.body for m in a.folders[folder]] == [
+                m.body for m in b.folders[folder]
+            ]
+
+    def test_different_seed_different_corpus(self):
+        a = generate_mail_corpus(seed=1)
+        b = generate_mail_corpus(seed=2)
+        assert [m.body for m in a.folders["inbox"]] != [
+            m.body for m in b.folders["inbox"]
+        ]
+
+    def test_shape_parameters(self):
+        corpus = generate_mail_corpus(seed=0, n_folders=4, messages_per_folder=7)
+        assert len(corpus.folders) == 4
+        assert all(len(msgs) == 7 for msgs in corpus.folders.values())
+        assert corpus.total_messages == 28
+        assert corpus.total_bytes > 0
+
+    def test_sizes_bounded(self):
+        corpus = generate_mail_corpus(
+            seed=0, messages_per_folder=50, max_body_bytes=4096
+        )
+        for messages in corpus.folders.values():
+            for message in messages:
+                assert 64 <= len(message.body) <= 4096
+
+    def test_summary_matches_message(self):
+        corpus = generate_mail_corpus(seed=3, n_folders=1, messages_per_folder=2)
+        message = corpus.folders["inbox"][0]
+        summary = message.summary()
+        assert summary["id"] == message.msg_id
+        assert summary["size"] == message.size_bytes
+
+    def test_message_ids_unique(self):
+        corpus = generate_mail_corpus(seed=0, n_folders=3, messages_per_folder=10)
+        ids = [
+            m.msg_id for messages in corpus.folders.values() for m in messages
+        ]
+        assert len(set(ids)) == len(ids)
+
+
+class TestCalendarOps:
+    def test_deterministic_per_replica(self):
+        a = generate_calendar_ops(seed=4, replica="A")
+        b = generate_calendar_ops(seed=4, replica="A")
+        assert [(o.op, o.event_id, o.slot) for o in a] == [
+            (o.op, o.event_id, o.slot) for o in b
+        ]
+
+    def test_replicas_produce_disjoint_event_ids(self):
+        a = generate_calendar_ops(seed=4, replica="A")
+        b = generate_calendar_ops(seed=4, replica="B")
+        a_ids = {o.event_id for o in a if o.op == "add"}
+        b_ids = {o.event_id for o in b if o.op == "add"}
+        assert not a_ids & b_ids
+
+    def test_moves_and_cancels_reference_own_adds(self):
+        ops = generate_calendar_ops(seed=9, replica="X", n_ops=40)
+        added = set()
+        for op in ops:
+            if op.op == "add":
+                added.add(op.event_id)
+            else:
+                assert op.event_id in added
+            if op.op == "cancel":
+                added.discard(op.event_id)
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(0, 1000))
+    def test_slots_in_range(self, seed):
+        ops = generate_calendar_ops(seed=seed, replica="P", n_ops=15, n_slots=20)
+        for op in ops:
+            if op.op == "add":
+                assert 0 <= op.slot < 20
+                assert all(0 <= s < 20 for s in op.alt_slots)
+
+
+class TestSiteGraph:
+    def test_deterministic(self):
+        a = generate_site(seed=8)
+        b = generate_site(seed=8)
+        assert a.pages.keys() == b.pages.keys()
+        for url in a.pages:
+            assert a.pages[url].links == b.pages[url].links
+            assert a.pages[url].html_size == b.pages[url].html_size
+
+    def test_links_point_to_real_pages(self):
+        site = generate_site(seed=8, n_pages=25)
+        for page in site.pages.values():
+            for link in page.links:
+                assert link in site.pages
+
+    def test_root_reaches_multiple_pages(self):
+        site = generate_site(seed=8, n_pages=25)
+        seen = {site.root}
+        frontier = [site.root]
+        while frontier:
+            url = frontier.pop()
+            for link in site.pages[url].links:
+                if link not in seen:
+                    seen.add(link)
+                    frontier.append(link)
+        assert len(seen) > 10  # browsable graph, not islands
+
+    def test_total_bytes(self):
+        site = generate_site(seed=8, n_pages=5)
+        assert site.total_bytes == sum(p.total_bytes for p in site.pages.values())
+        assert len(site) == 5
+
+
+class TestConnectivityTrace:
+    def test_intervals_sorted_disjoint(self):
+        trace = generate_connectivity_trace(seed=3, horizon_s=10_000)
+        previous_end = -1.0
+        for start, end in trace:
+            assert start < end
+            assert start >= previous_end
+            previous_end = end
+
+    def test_feeds_interval_trace(self):
+        from repro.net.link import IntervalTrace
+
+        trace = generate_connectivity_trace(seed=3, horizon_s=5_000)
+        policy = IntervalTrace(trace)
+        assert policy.is_up(trace[0][0])
+
+    def test_horizon_respected(self):
+        trace = generate_connectivity_trace(seed=1, horizon_s=2_000)
+        assert all(end <= 2_000 for __, end in trace)
