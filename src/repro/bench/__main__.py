@@ -5,6 +5,11 @@ Regenerate any (or all) of the paper's tables without pytest::
     python -m repro.bench              # everything
     python -m repro.bench e1 e3 e7     # a selection
     python -m repro.bench --list
+
+Observability (see docs/OBSERVABILITY.md)::
+
+    python -m repro.bench --trace-out /tmp/e2.jsonl e2   # span dump + summary
+    python -m repro.bench --metrics e1                   # metrics snapshot
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ import sys
 from repro.bench import experiments as E
 from repro.bench.tables import format_seconds as fs
 from repro.bench.tables import format_table
+from repro.obs import Observatory, set_capture
+from repro.obs.export import summary_table, write_jsonl
 
 
 def _e1() -> str:
@@ -293,6 +300,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument("--csv", metavar="DIR",
                         help="also write raw rows as CSV files under DIR")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="record QRPC spans and write them as JSONL to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a metrics-registry snapshot after the run")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -304,12 +315,36 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-    for name in selected:
-        print(EXPERIMENTS[name]())
-        print()
+
+    # Experiment drivers build their testbeds internally, so the CLI
+    # cannot hand them an Observatory directly; instead install a
+    # process-wide capture that build_testbed adopts.
+    obs = None
+    if args.trace_out or args.metrics:
+        if args.trace_out:
+            try:  # fail before the (possibly long) run, not after
+                open(args.trace_out, "w").close()
+            except OSError as exc:
+                parser.error(f"cannot write --trace-out {args.trace_out}: {exc}")
+        obs = Observatory(tracing=bool(args.trace_out))
+        set_capture(obs)
+    try:
+        for name in selected:
+            print(EXPERIMENTS[name]())
+            print()
+    finally:
+        set_capture(None)
     if args.csv:
         for path in write_csv(args.csv, selected):
             print(f"wrote {path}")
+    if obs is not None and args.trace_out:
+        write_jsonl(obs.spans, args.trace_out)
+        print(f"wrote {len(obs.spans)} spans to {args.trace_out}")
+        print()
+        print(summary_table(obs.spans))
+    if obs is not None and args.metrics:
+        print()
+        print(obs.registry.render())
     return 0
 
 

@@ -107,18 +107,37 @@ class Timeline:
                 cells[column] = glyph
         return "".join(cells)
 
-    def render(self, link: Link | None = None) -> str:
-        """The full multi-lane picture."""
-        label_width = 10
+    def span_lanes(self, spans: list) -> list[tuple[str, str]]:
+        """One extra lane per trace stage, built from recorded spans.
+
+        ``#`` marks columns where at least one span of that stage was
+        active — the pipeline-stage view of the same window the event
+        lanes cover.  Accepts spans from ``bed.obs.spans`` or reloaded
+        via :func:`repro.obs.export.read_jsonl`.  Returns
+        ``(label, lane)`` pairs; :meth:`render` aligns the labels.
+        """
+        from repro.obs.export import stage_lanes
+
+        return list(
+            stage_lanes(spans, self.start, self.end, width=self.width).items()
+        )
+
+    def render(self, link: Link | None = None, spans: list | None = None) -> str:
+        """The full multi-lane picture (plus trace lanes when given spans)."""
+        lanes: list[tuple[str, str]] = []
+        links = [link] if link is not None else self.access.host.links
+        for attached in links:
+            lanes.append(("link", self.link_lane(attached)))
+        lanes.append(("queue", self.queue_lane()))
+        lanes.append(("events", self.event_lane()))
+        if spans:
+            lanes.extend(self.span_lanes(spans))
+        label_width = max(10, max(len(label) for label, __ in lanes) + 2)
         header = (
             f"{'t(s)':<{label_width}}{self.start:<6.1f}"
             + "." * (self.width - 12)
             + f"{self.end:>6.1f}"
         )
-        lanes = [header]
-        links = [link] if link is not None else self.access.host.links
-        for attached in links:
-            lanes.append(f"{'link':<{label_width}}{self.link_lane(attached)}")
-        lanes.append(f"{'queue':<{label_width}}{self.queue_lane()}")
-        lanes.append(f"{'events':<{label_width}}{self.event_lane()}")
-        return "\n".join(lanes)
+        return "\n".join(
+            [header] + [f"{label:<{label_width}}{lane}" for label, lane in lanes]
+        )

@@ -40,6 +40,8 @@ from repro.core.rdo import RDO, ExecutionCostModel
 from repro.core.session import Session, SessionRegistry
 from repro.net.scheduler import NetworkScheduler, Priority
 from repro.net.simnet import Host
+from repro.obs import Observatory
+from repro.obs.trace import TRACE_KEY, Span
 from repro.sim import Simulator
 
 
@@ -62,10 +64,30 @@ class AccessManager:
         step_budget: int = 200_000,
         auth_token: str = "",
         group_commit_s: float = 0.0,
+        obs: Optional[Observatory] = None,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
         self.host = scheduler.host
+        #: Observability: defaults to the scheduler's observatory so a
+        #: hand-wired stack shares one registry/tracer per client.
+        #: (Live schedulers carry none; fall back to a private one.)
+        if obs is None:
+            obs = getattr(scheduler, "obs", None) or Observatory()
+        self.obs = obs
+        self.tracer = self.obs.tracer
+        self._m_qrpc_latency = self.obs.registry.histogram(
+            "qrpc_latency_seconds",
+            "Queued-request round trip, logging through reply delivery",
+            labelnames=("host", "op"),
+        )
+        self._m_qrpc_failed = self.obs.registry.counter(
+            "qrpc_failed_total",
+            "QRPCs that exhausted retransmission",
+            labelnames=("host", "op"),
+        )
+        #: request_id -> open root span (tracing enabled only).
+        self._root_spans: dict[str, Span] = {}
         #: authority name -> home-server Host
         self.servers = dict(servers)
         self.cache = cache if cache is not None else ObjectCache(clock=lambda: sim.now)
@@ -562,6 +584,17 @@ class AccessManager:
         return server
 
     def _log_and_submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
+        if self.tracer.enabled:
+            root = self.tracer.start_trace(
+                "qrpc",
+                start=self.sim.now,
+                op=str(request.operation),
+                urn=request.urn,
+                request_id=request.request_id,
+                host=self.host.name,
+            )
+            request.trace_id, request.span_id = root.trace_id, root.span_id
+            self._root_spans[request.request_id] = root
         self.notifications.publish(
             EventType.REQUEST_QUEUED,
             self.sim.now,
@@ -584,7 +617,17 @@ class AccessManager:
         # durable, queueing behind any flush already in progress.
         durable_at = max(self.sim.now, self._flush_busy_until) + flush_time
         self._flush_busy_until = durable_at
+        self._trace_log_append(request, durable_at)
         self.sim.schedule(durable_at - self.sim.now, self._submit, request, session)
+
+    def _trace_log_append(self, request: QRPCRequest, durable_at: float) -> None:
+        if self.tracer.enabled and request.trace_id:
+            self.tracer.record(
+                "log.append",
+                (request.trace_id, request.span_id),
+                start=self.sim.now,
+                end=durable_at,
+            )
 
     def _group_flush(self) -> None:
         """One flush covers every append in the group-commit window."""
@@ -595,6 +638,7 @@ class AccessManager:
         self._flush_busy_until = durable_at
         batch, self._unflushed = self._unflushed, []
         for request, session in batch:
+            self._trace_log_append(request, durable_at)
             self.sim.schedule(durable_at - self.sim.now, self._submit, request, session)
 
     def _submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
@@ -608,6 +652,8 @@ class AccessManager:
             body["auth"] = self.auth_token
         if request.operation is Operation.SHIP:
             body.pop("urn", None)
+        if request.trace_id:
+            body[TRACE_KEY] = [request.trace_id, request.span_id]
         message = self.scheduler.submit(
             dst,
             request.service,
@@ -632,6 +678,10 @@ class AccessManager:
             return  # duplicate response (at-most-once application)
         flush_time = self.log.acknowledge(request.request_id)
         self.flush_seconds_total += flush_time
+        self._finish_trace(request, status="ok")
+        self._m_qrpc_latency.labels(
+            host=self.host.name, op=str(request.operation)
+        ).observe(self.sim.now - request.created_at)
         self.notifications.publish(
             EventType.RESPONSE_ARRIVED,
             self.sim.now,
@@ -651,7 +701,27 @@ class AccessManager:
         }[request.operation]
         handler(request, session, reply if isinstance(reply, dict) else {})
 
+    def _finish_trace(self, request: QRPCRequest, status: str) -> None:
+        root = self._root_spans.pop(request.request_id, None)
+        if root is None:
+            return
+        if status == "ok":
+            # The reply is handed to the application right now; the
+            # zero-width span marks the boundary between transport and
+            # application in the trace.
+            self.tracer.record(
+                "reply.deliver",
+                (root.trace_id, root.span_id),
+                start=self.sim.now,
+                end=self.sim.now,
+            )
+        self.tracer.finish(root, end=self.sim.now, status=status)
+
     def _on_failed(self, request: QRPCRequest, reason: str) -> None:
+        self._finish_trace(request, status="failed")
+        self._m_qrpc_failed.labels(
+            host=self.host.name, op=str(request.operation)
+        ).inc()
         self.log.mark_failed(request.request_id)
         self.notifications.publish(
             EventType.REQUEST_FAILED,

@@ -17,6 +17,7 @@ from enum import Enum
 from typing import Callable, Iterator, Optional
 
 from repro.core.rdo import RDO
+from repro.obs import Observatory
 
 
 class CacheStatus(Enum):
@@ -66,28 +67,74 @@ class ObjectCache:
         self,
         capacity_bytes: int = 8 * 1024 * 1024,
         clock: Optional[Callable[[], float]] = None,
+        obs: Optional[Observatory] = None,
+        owner: str = "cache",
     ) -> None:
         self.capacity_bytes = capacity_bytes
         self._clock = clock or (lambda: 0.0)
         self._entries: dict[str, CacheEntry] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.obs = obs if obs is not None else Observatory()
+        registry = self.obs.registry
+        label = {"owner": owner}
+        self._m_hits = registry.counter(
+            "cache_hits_total", "lookup() found the object", labelnames=("owner",)
+        ).labels(**label)
+        self._m_misses = registry.counter(
+            "cache_misses_total", "lookup() missed", labelnames=("owner",)
+        ).labels(**label)
+        self._m_evictions = registry.counter(
+            "cache_evictions_total",
+            "Entries dropped by LRU pressure (churn under cache pressure)",
+            labelnames=("owner",),
+        ).labels(**label)
+        registry.gauge(
+            "cache_bytes", "Bytes currently cached", labelnames=("owner",)
+        ).labels(**label).set_function(lambda: self.used_bytes)
+        registry.gauge(
+            "cache_entries", "Objects currently cached", labelnames=("owner",)
+        ).labels(**label).set_function(lambda: len(self._entries))
+
+    # -- counters (registry-backed; attribute names kept for callers) -------
+
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._m_evictions.value)
 
     # -- lookups ----------------------------------------------------------
+    #
+    # Two deliberately asymmetric read paths:
+    #
+    # * ``lookup`` is the *application* path: it touches LRU recency and
+    #   counts toward the hit/miss ratio, so it changes future eviction
+    #   decisions.  Use it when serving a real access (``import_``).
+    # * ``peek`` is the *bookkeeping* path: exports, invalidation
+    #   checks, and stats must not distort recency or the measured hit
+    #   ratio, so peek leaves both untouched.
+    #
+    # There is intentionally no dict-style ``get``: callers must choose
+    # which of the two semantics they mean.
 
     def lookup(self, urn: str) -> Optional[CacheEntry]:
-        """Fetch and touch; counts as hit/miss."""
+        """Fetch **and touch**: refreshes LRU recency, counts hit/miss."""
         entry = self._entries.get(urn)
         if entry is None:
-            self.misses += 1
+            self._m_misses.inc()
             return None
         entry.last_used = self._clock()
-        self.hits += 1
+        self._m_hits.inc()
         return entry
 
     def peek(self, urn: str) -> Optional[CacheEntry]:
-        """Fetch without touching LRU state or hit/miss counters."""
+        """Fetch **without side effects**: no LRU touch, no hit/miss
+        accounting.  For toolkit bookkeeping, not application reads."""
         return self._entries.get(urn)
 
     def __contains__(self, urn: str) -> bool:
@@ -155,7 +202,7 @@ class ObjectCache:
             if self.used_bytes <= self.capacity_bytes:
                 break
             del self._entries[urn]
-            self.evictions += 1
+            self._m_evictions.inc()
             evicted.append(urn)
         return evicted
 
@@ -163,6 +210,10 @@ class ObjectCache:
         return [urn for urn, entry in self._entries.items() if entry.tentative]
 
     def stats(self) -> dict:
+        """Point-in-time counters — a thin view over the metrics
+        registry (exported as ``cache_*`` series with an ``owner``
+        label).  ``evictions`` tracks LRU churn so cache-pressure
+        experiments can see turnover, not just the end-state ratio."""
         return {
             "entries": len(self._entries),
             "bytes": self.used_bytes,

@@ -25,11 +25,22 @@ from repro.storage.stable_log import StableLog
 class OperationLog:
     """Pending-QRPC log with at-most-once acknowledgement tracking."""
 
-    def __init__(self, stable_log: Optional[StableLog] = None) -> None:
+    def __init__(
+        self,
+        stable_log: Optional[StableLog] = None,
+        obs: Optional["object"] = None,
+        owner: str = "client",
+    ) -> None:
         self.stable = stable_log if stable_log is not None else StableLog()
         self._pending: dict[str, QRPCRequest] = {}
         self._record_seq: dict[str, int] = {}
         self._acked: set[str] = set()
+        if obs is not None:
+            # Live view: how many QRPCs are logged but unanswered.
+            obs.registry.gauge(
+                "oplog_pending", "Logged-but-unacknowledged QRPCs",
+                labelnames=("owner",),
+            ).labels(owner=owner).set_function(lambda: len(self._pending))
         self._recover()
 
     def _recover(self) -> None:

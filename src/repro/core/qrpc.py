@@ -72,9 +72,15 @@ class QRPCRequest:
     priority: Priority = Priority.DEFAULT
     created_at: float = 0.0
     status: QRPCStatus = QRPCStatus.LOGGED
+    #: Tracing context (see :mod:`repro.obs.trace`): the id of the
+    #: trace this request belongs to and of its root span.  Empty when
+    #: tracing is disabled; propagated on the wire so the server side
+    #: attributes its spans to the client's trace.
+    trace_id: str = ""
+    span_id: str = ""
 
     def to_wire(self) -> dict:
-        return {
+        wire = {
             "id": self.request_id,
             "session": self.session_id,
             "op": str(self.operation),
@@ -83,9 +89,13 @@ class QRPCRequest:
             "priority": int(self.priority),
             "created_at": self.created_at,
         }
+        if self.trace_id:
+            wire["trace"] = [self.trace_id, self.span_id]
+        return wire
 
     @staticmethod
     def from_wire(wire: dict) -> "QRPCRequest":
+        trace = wire.get("trace") or ["", ""]
         return QRPCRequest(
             request_id=wire["id"],
             session_id=wire.get("session", ""),
@@ -94,7 +104,16 @@ class QRPCRequest:
             args=wire.get("args", {}),
             priority=Priority(wire.get("priority", int(Priority.DEFAULT))),
             created_at=float(wire.get("created_at", 0.0)),
+            trace_id=trace[0],
+            span_id=trace[1],
         )
+
+    @property
+    def trace_context(self) -> Any:
+        """``(trace_id, root_span_id)`` or ``None`` when untraced."""
+        if not self.trace_id:
+            return None
+        return (self.trace_id, self.span_id)
 
     @property
     def service(self) -> str:

@@ -27,6 +27,8 @@ from repro.core.interpreter import SafeInterpreter
 from repro.core.rdo import RDO, ExecutionCostModel
 from repro.net.simnet import Address
 from repro.net.transport import DelayedReply, Transport
+from repro.obs import Observatory
+from repro.obs.trace import TRACE_KEY, parse_context
 from repro.sim import Simulator
 from repro.storage.kvstore import KVStore
 
@@ -44,9 +46,16 @@ class RoverServer:
         history_limit: int = 32,
         step_budget: int = 200_000,
         auth_tokens: Optional[set[str]] = None,
+        obs: Optional[Observatory] = None,
     ) -> None:
         self.sim = sim
         self.transport = transport
+        #: Observability: defaults to the transport's observatory so a
+        #: hand-wired server shares its host's registry/tracer.  (Live
+        #: transports carry no observatory; fall back to a private one.)
+        if obs is None:
+            obs = getattr(transport, "obs", None) or Observatory()
+        self.obs = obs
         self.authority = authority
         self.store = KVStore()
         self.resolvers = resolvers or ResolverRegistry()
@@ -88,6 +97,30 @@ class RoverServer:
         self.locks_denied = 0
         transport.register("rover.lock", self._on_lock)
         transport.register("rover.unlock", self._on_unlock)
+        # Metrics: live views over the plain instance counters above.
+        # The attributes stay ordinary ints (tests and experiment
+        # drivers read them directly); the registry sees them through
+        # function gauges so `--metrics` exports one coherent snapshot.
+        gauge = self.obs.registry.gauge(
+            "server_requests", "Per-service request totals",
+            labelnames=("authority", "kind"),
+        )
+        for attr in (
+            "imports_served",
+            "exports_committed",
+            "exports_resolved",
+            "exports_conflicted",
+            "invokes_served",
+            "ships_served",
+            "duplicates_suppressed",
+            "auth_rejections",
+            "invalidations_sent",
+            "locks_granted",
+            "locks_denied",
+        ):
+            gauge.labels(authority=authority, kind=attr).set_function(
+                lambda a=attr: getattr(self, a)
+            )
 
     # -- population ---------------------------------------------------------
 
@@ -333,15 +366,39 @@ class RoverServer:
         and conflict handling apply per member; compute charges
         (DelayedReply) accumulate into one deferred batch reply.
         """
+        tracer = self.obs.tracer
+        envelope_trace = (
+            parse_context(body.get(TRACE_KEY)) if isinstance(body, dict) else None
+        )
         replies = []
         total_delay = 0.0
         for request in body.get("requests", []):
+            member_body = request.get("body")
+            started_at = self.sim.now + total_delay
             ok, reply_body = self.transport.handle_request(
-                request.get("service", ""), request.get("body"), source
+                request.get("service", ""), member_body, source
             )
+            delay = 0.0
             if isinstance(reply_body, DelayedReply):
-                total_delay += reply_body.delay_s
+                delay = reply_body.delay_s
+                total_delay += delay
                 reply_body = reply_body.body
+            if tracer.enabled and isinstance(member_body, dict):
+                member_trace = parse_context(member_body.get(TRACE_KEY))
+                # The head member's trace already carries the
+                # envelope-level server.execute span recorded by the
+                # transport; per-member spans go to the *other* traces
+                # riding in this batch.
+                if member_trace is not None and member_trace != envelope_trace:
+                    tracer.record(
+                        "server.execute",
+                        member_trace,
+                        start=started_at,
+                        end=started_at + delay,
+                        service=request.get("service", ""),
+                        host=self.transport.host.name,
+                        batched=True,
+                    )
             replies.append({"ok": ok, "body": reply_body})
         result = {"replies": replies}
         if total_delay > 0:

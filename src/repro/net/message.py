@@ -143,7 +143,11 @@ def _decode(data: bytes, pos: int, depth: int = 0) -> tuple[Any, int]:
         length, pos = _read_uvarint(data, pos)
         if pos + length > len(data):
             raise MarshalError("truncated string")
-        return data[pos : pos + length].decode("utf-8"), pos + length
+        try:
+            text = data[pos : pos + length].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MarshalError(f"invalid utf-8 in string: {exc}") from None
+        return text, pos + length
     if tag == _TAG_BYTES:
         length, pos = _read_uvarint(data, pos)
         if pos + length > len(data):

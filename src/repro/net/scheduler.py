@@ -27,6 +27,8 @@ from typing import Any, Callable, Optional
 
 from repro.net.simnet import Host, Link
 from repro.net.transport import RpcError, Transport
+from repro.obs import Observatory
+from repro.obs.trace import TRACE_KEY, parse_context
 from repro.sim import Simulator
 
 
@@ -140,6 +142,8 @@ class QueuedMessage:
         "state",
         "size_hint",
         "route_preference",
+        "trace",
+        "last_queued_at",
     )
 
     def __init__(
@@ -166,6 +170,13 @@ class QueuedMessage:
         self.enqueued_at = enqueued_at
         self.state = "queued"  # queued | inflight | accepted | done | cancelled
         self.size_hint = size_hint
+        #: Trace context propagated in the body (see repro.obs.trace).
+        self.trace = (
+            parse_context(body.get(TRACE_KEY)) if isinstance(body, dict) else None
+        )
+        #: When the message last (re-)entered the queue; queue.wait
+        #: spans measure from here, so each retry gets its own span.
+        self.last_queued_at = enqueued_at
         #: Requested quality of service: pin the message to one carrier
         #: kind (paper 5.3: route choice "based in part upon the
         #: requested quality of service").  None = any carrier.
@@ -194,6 +205,7 @@ class NetworkScheduler:
         max_backoff: float = 300.0,
         fifo_only: bool = False,
         batch_max: int = 1,
+        obs: Optional[Observatory] = None,
     ) -> None:
         self.sim = sim
         self.transport = transport
@@ -208,7 +220,6 @@ class NetworkScheduler:
         #: (service ``rover.batch``; the server must support it).
         #: 1 disables batching (the paper's prototype behaviour).
         self.batch_max = batch_max
-        self.batches_sent = 0
         self.routes: list[Route] = [DirectRoute(transport)]
         self._heap: list[tuple[tuple[int, int], QueuedMessage]] = []
         #: Every message not yet in a terminal state (queued, backing
@@ -216,11 +227,88 @@ class NetworkScheduler:
         self._active: set[QueuedMessage] = set()
         self._seq = 0
         self._inflight = 0
-        self.delivered = 0
-        self.failed = 0
-        self.retransmissions = 0
+        self.obs = obs if obs is not None else Observatory()
+        self.tracer = self.obs.tracer
+        registry = self.obs.registry
+        host_label = {"host": self.host.name}
+        self._m_delivered = registry.counter(
+            "sched_delivered_total", "Messages answered", labelnames=("host",)
+        ).labels(**host_label)
+        self._m_failed = registry.counter(
+            "sched_failed_total", "Messages terminally failed", labelnames=("host",)
+        ).labels(**host_label)
+        self._m_retransmissions = registry.counter(
+            "sched_retransmissions_total",
+            "Re-dispatches after a failed attempt",
+            labelnames=("host",),
+        ).labels(**host_label)
+        self._m_batches = registry.counter(
+            "sched_batches_sent_total",
+            "rover.batch exchanges dispatched",
+            labelnames=("host",),
+        ).labels(**host_label)
+        self._m_queue_wait = registry.histogram(
+            "sched_queue_wait_seconds",
+            "Time from enqueue (or requeue) to dispatch",
+            labelnames=("host", "priority"),
+        )
+        for priority in Priority:
+            gauge = registry.gauge(
+                "sched_queue_depth",
+                "Currently queued messages",
+                labelnames=("host", "priority"),
+            ).labels(host=self.host.name, priority=priority.name.lower())
+            gauge.set_function(
+                lambda p=priority: self._queue_depth_for(p)
+            )
+        registry.gauge(
+            "sched_inflight", "Messages occupying the window", labelnames=("host",)
+        ).labels(**host_label).set_function(lambda: self._inflight)
         self._watched_links: set[str] = set()
         self._watch_links()
+
+    # -- counters (registry-backed; attribute names kept for callers) -------
+
+    @property
+    def delivered(self) -> int:
+        return int(self._m_delivered.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._m_failed.value)
+
+    @property
+    def retransmissions(self) -> int:
+        return int(self._m_retransmissions.value)
+
+    @property
+    def batches_sent(self) -> int:
+        return int(self._m_batches.value)
+
+    def _queue_depth_for(self, priority: Priority) -> int:
+        return sum(
+            1
+            for __, m in self._heap
+            if m.state == "queued" and m.priority is priority
+        )
+
+    def stats(self) -> dict:
+        """Point-in-time counters, mirroring :meth:`ObjectCache.stats`.
+
+        A thin view over the metrics registry: the same numbers are
+        exported as ``sched_*`` series with a ``host`` label.
+        """
+        return {
+            "queued": {
+                priority.name.lower(): self._queue_depth_for(priority)
+                for priority in Priority
+            },
+            "inflight": self._inflight,
+            "delivered": self.delivered,
+            "failed": self.failed,
+            "retransmissions": self.retransmissions,
+            "batches_sent": self.batches_sent,
+        }
 
     # -- public API -------------------------------------------------------
 
@@ -394,14 +482,20 @@ class NetworkScheduler:
         return batch if len(batch) > 1 else None
 
     def _dispatch_batch(self, batch: list[QueuedMessage], route: Route) -> None:
-        """Send several messages as one ``rover.batch`` exchange."""
+        """Send several messages as one ``rover.batch`` exchange.
+
+        The batch envelope carries the *head* message's trace context,
+        so wire/server spans of the exchange attach to the head's
+        trace; every member still gets its own queue.wait span.
+        """
         for message in batch:
             message.state = "inflight"
             message.attempts += 1
             if message.attempts > 1:
-                self.retransmissions += 1
+                self._m_retransmissions.inc()
+            self._note_dispatch(message, route)
         self._inflight += 1
-        self.batches_sent += 1
+        self._m_batches.inc()
         slot = {"held": True}
 
         def release_slot() -> None:
@@ -425,13 +519,13 @@ class NetworkScheduler:
                 message.state = "done"
                 self._active.discard(message)
                 if index < len(replies) and replies[index].get("ok"):
-                    self.delivered += 1
+                    self._m_delivered.inc()
                     message.on_reply(replies[index].get("body"))
                 else:
                     detail = (
                         replies[index].get("body") if index < len(replies) else None
                     )
-                    self.failed += 1
+                    self._m_failed.inc()
                     message.on_failed(
                         detail.get("error", "batch member failed")
                         if isinstance(detail, dict)
@@ -447,7 +541,7 @@ class NetworkScheduler:
                 if message.attempts >= self.max_attempts:
                     message.state = "done"
                     self._active.discard(message)
-                    self.failed += 1
+                    self._m_failed.inc()
                     message.on_failed(reason)
                 else:
                     message.state = "queued"
@@ -455,6 +549,7 @@ class NetworkScheduler:
                         self.max_backoff,
                         self.base_backoff * (2 ** (message.attempts - 1)),
                     )
+                    self._note_retry(message, backoff, reason)
                     self.sim.schedule(backoff, self._requeue, message)
             self._pump()
 
@@ -464,13 +559,52 @@ class NetworkScheduler:
                 for message in batch
             ]
         }
+        if batch[0].trace is not None:
+            body[TRACE_KEY] = list(batch[0].trace)
         route.send(batch[0].dst, "rover.batch", body, on_reply, on_error, on_accepted)
+
+    def _note_dispatch(self, message: QueuedMessage, route: Route) -> None:
+        """Record queue.wait + route.select spans and wait metrics."""
+        waited = self.sim.now - message.last_queued_at
+        self._m_queue_wait.labels(
+            host=self.host.name, priority=message.priority.name.lower()
+        ).observe(waited)
+        if self.tracer.enabled and message.trace is not None:
+            self.tracer.record(
+                "queue.wait",
+                message.trace,
+                start=message.last_queued_at,
+                end=self.sim.now,
+                priority=message.priority.name.lower(),
+                attempt=message.attempts,
+            )
+            self.tracer.record(
+                "route.select",
+                message.trace,
+                start=self.sim.now,
+                end=self.sim.now,
+                route=route.name,
+                kind=route.kind.name.lower(),
+            )
+
+    def _note_retry(self, message: QueuedMessage, backoff: float, reason: str) -> None:
+        """Record the backoff between a failed attempt and its retry."""
+        if self.tracer.enabled and message.trace is not None:
+            self.tracer.record(
+                "retransmit",
+                message.trace,
+                start=self.sim.now,
+                end=self.sim.now + backoff,
+                attempt=message.attempts,
+                reason=reason,
+            )
 
     def _dispatch(self, message: QueuedMessage, route: Route) -> None:
         message.state = "inflight"
         message.attempts += 1
         if message.attempts > 1:
-            self.retransmissions += 1
+            self._m_retransmissions.inc()
+        self._note_dispatch(message, route)
         self._inflight += 1
         slot = {"held": True}
 
@@ -493,7 +627,7 @@ class NetworkScheduler:
             message.state = "done"
             self._active.discard(message)
             release_slot()
-            self.delivered += 1
+            self._m_delivered.inc()
             message.on_reply(body)
             self._pump()
 
@@ -504,7 +638,7 @@ class NetworkScheduler:
             if message.attempts >= self.max_attempts:
                 message.state = "done"
                 self._active.discard(message)
-                self.failed += 1
+                self._m_failed.inc()
                 message.on_failed(reason)
             else:
                 message.state = "queued"
@@ -512,6 +646,7 @@ class NetworkScheduler:
                     self.max_backoff,
                     self.base_backoff * (2 ** (message.attempts - 1)),
                 )
+                self._note_retry(message, backoff, reason)
                 self.sim.schedule(backoff, self._requeue, message)
             self._pump()
 
@@ -522,5 +657,6 @@ class NetworkScheduler:
     def _requeue(self, message: QueuedMessage) -> None:
         if message.state != "queued":
             return
+        message.last_queued_at = self.sim.now
         self._push(message)
         self._pump()

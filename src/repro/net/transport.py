@@ -24,6 +24,8 @@ from typing import Any, Callable, Optional
 from repro.net.link import LinkSpec
 from repro.net.message import marshal, unmarshal
 from repro.net.simnet import Address, Host, Link, LinkDown
+from repro.obs import Observatory
+from repro.obs.trace import TRACE_KEY, parse_context
 from repro.sim import Simulator
 
 # One-byte framing marker ahead of every transport payload.
@@ -74,6 +76,7 @@ class Transport:
         sim: Simulator,
         host: Host,
         compress_threshold: Optional[int] = None,
+        obs: Optional[Observatory] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -81,8 +84,19 @@ class Transport:
         self._request_handlers: dict[str, RequestHandler] = {}
         self._next_call_id = 0
         self._pending_calls: dict[str, dict[str, Any]] = {}
-        self.bytes_sent = 0
-        self.messages_sent = 0
+        self.obs = obs if obs is not None else Observatory()
+        self.tracer = self.obs.tracer
+        registry = self.obs.registry
+        self._m_bytes = registry.counter(
+            "transport_bytes_sent_total",
+            "Marshalled payload bytes handed to links",
+            labelnames=("host",),
+        ).labels(host=host.name)
+        self._m_messages = registry.counter(
+            "transport_messages_sent_total",
+            "Payloads handed to links",
+            labelnames=("host",),
+        ).labels(host=host.name)
         #: Compress payloads larger than this many marshalled bytes
         #: (None disables — the paper's prototype choice).  Receivers
         #: always understand compressed frames regardless of their own
@@ -90,6 +104,14 @@ class Transport:
         self.compress_threshold = compress_threshold
         self.bytes_saved_by_compression = 0
         host.bind(RPC_PORT, self._on_rpc_datagram)
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._m_bytes.value)
+
+    @property
+    def messages_sent(self) -> int:
+        return int(self._m_messages.value)
 
     # -- payload framing ---------------------------------------------------
 
@@ -149,18 +171,38 @@ class Transport:
         link: Optional[Link] = None,
         on_failed: Optional[Callable[[str], None]] = None,
         src_port: int = RPC_PORT,
+        trace: Optional[tuple[str, str]] = None,
     ) -> int:
         """Marshal and transmit ``value``; returns payload size in bytes.
 
         Raises :class:`LinkDown` when no usable link exists right now.
+        With a ``trace`` context, the wire crossing is recorded as a
+        ``link.transmit`` span from now (including any wait for the
+        serial line) until delivery at the peer.
         """
         chosen = link or self.best_link(dst)
         if chosen is None or not chosen.is_up:
             raise LinkDown(f"no usable link {self.host.name} -> {dst.name}")
         payload = self._encode_payload(value)
-        chosen.send(self.host, port, payload, on_failed=on_failed, src_port=src_port)
-        self.bytes_sent += len(payload)
-        self.messages_sent += 1
+        arrival = chosen.send(
+            self.host, port, payload, on_failed=on_failed, src_port=src_port
+        )
+        if trace is not None and self.tracer.enabled:
+            self.tracer.record(
+                "link.transmit",
+                trace,
+                start=self.sim.now,
+                end=arrival,
+                # "wire", not "link": the scope-level "link" attr names
+                # the network *config* (summary grouping key); this one
+                # names the physical hop the bytes took.
+                wire=chosen.name,
+                bytes=len(payload),
+                src=self.host.name,
+                dst=dst.name,
+            )
+        self._m_bytes.inc(len(payload))
+        self._m_messages.inc()
         return len(payload)
 
     # -- request/reply (blocking RPC baseline) ----------------------------
@@ -211,8 +253,13 @@ class Transport:
                 pending["timer"].cancel()
                 on_error(RpcError(f"call {call_id} failed: {reason}"))
 
+        trace = (
+            parse_context(request.get(TRACE_KEY))
+            if isinstance(request, dict)
+            else None
+        )
         try:
-            self.send(dst, RPC_PORT, envelope, link=link, on_failed=failed)
+            self.send(dst, RPC_PORT, envelope, link=link, on_failed=failed, trace=trace)
         except LinkDown as exc:
             pending = self._pending_calls.pop(call_id, None)
             if pending is not None:
@@ -278,13 +325,28 @@ class Transport:
         src_host = self.host.network.hosts.get(source[0])
         if src_host is None:
             return
+        body = envelope.get("body")
+        trace = parse_context(body.get(TRACE_KEY)) if isinstance(body, dict) else None
+        started = self.sim.now
         ok, reply_body = self.handle_request(
-            envelope.get("service", ""), envelope.get("body"), source
+            envelope.get("service", ""), body, source
         )
         delay = 0.0
         if isinstance(reply_body, DelayedReply):
             delay = reply_body.delay_s
             reply_body = reply_body.body
+        if trace is not None and self.tracer.enabled:
+            # Handler ran synchronously at `started`; DelayedReply's
+            # delay is the modelled server compute time.
+            self.tracer.record(
+                "server.execute",
+                trace,
+                start=started,
+                end=started + delay,
+                service=envelope.get("service", ""),
+                host=self.host.name,
+                status="ok" if ok else "error",
+            )
         reply = {
             "kind": "reply",
             "id": envelope.get("id"),
@@ -294,7 +356,7 @@ class Transport:
 
         def transmit() -> None:
             try:
-                self.send(src_host, RPC_PORT, reply)
+                self.send(src_host, RPC_PORT, reply, trace=trace)
             except LinkDown:
                 # The reply is lost; the caller's timeout handles it.
                 pass

@@ -1,0 +1,217 @@
+"""Exporters for collected spans.
+
+Three consumers, mirroring how the paper's evaluation is read:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — durable trace dumps, one
+  JSON span per line, round-trippable;
+* :func:`summary` / :func:`summary_table` — p50/p95/p99 per stage per
+  network configuration, the stage-attribution view ("log overhead is
+  dwarfed by communication cost");
+* :func:`stage_lanes` — per-stage activity lanes that plug into the
+  ASCII :class:`repro.bench.timeline.Timeline` renderer.
+
+Plus :func:`check_trace`, the integrity predicate the tests and the
+bench CLI share: every child must reference a live parent, sit inside
+the root's interval, and the children's summed durations must not
+exceed the root's duration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.metrics import percentile
+from repro.obs.trace import Span
+
+#: Slack for float accumulation when comparing summed child durations
+#: against the root span (the stages partition the root exactly, so
+#: only representation error can push the sum past it).
+_FLOAT_SLACK = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Dump spans as JSON-lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for span in spans:
+            f.write(json.dumps(span.to_wire(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> list[Span]:
+    """Reload a :func:`write_jsonl` dump."""
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_wire(json.loads(line)))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Trace integrity
+# ---------------------------------------------------------------------------
+
+
+def check_trace(spans: Sequence[Span]) -> dict:
+    """Validate one trace's parent/child structure.
+
+    ``spans`` must all share a trace id.  Returns a report dict with
+    ``root``, ``children``, ``child_duration_sum`` and ``ok``; raises
+    ``ValueError`` on structural corruption (several roots, mixed
+    trace ids, orphaned parent references).
+    """
+    if not spans:
+        raise ValueError("empty trace")
+    trace_ids = {span.trace_id for span in spans}
+    if len(trace_ids) != 1:
+        raise ValueError(f"mixed trace ids: {sorted(trace_ids)}")
+    roots = [span for span in spans if not span.parent_id]
+    if len(roots) != 1:
+        raise ValueError(f"expected exactly one root span, found {len(roots)}")
+    root = roots[0]
+    by_id = {span.span_id: span for span in spans}
+    children = [span for span in spans if span.parent_id]
+    for child in children:
+        if child.parent_id not in by_id:
+            raise ValueError(
+                f"span {child.span_id} ({child.name}) references "
+                f"unknown parent {child.parent_id}"
+            )
+    child_sum = sum(child.duration for child in children)
+    ok = child_sum <= root.duration + _FLOAT_SLACK and all(
+        root.start - _FLOAT_SLACK <= child.start
+        and child.end <= root.end + _FLOAT_SLACK
+        for child in children
+    )
+    return {
+        "root": root,
+        "children": children,
+        "child_duration_sum": child_sum,
+        "ok": ok,
+    }
+
+
+def complete_traces(spans: Sequence[Span]) -> dict[str, list[Span]]:
+    """Group spans by trace id, keeping only traces that have a root."""
+    grouped: dict[str, list[Span]] = {}
+    for span in spans:
+        grouped.setdefault(span.trace_id, []).append(span)
+    return {
+        trace_id: members
+        for trace_id, members in grouped.items()
+        if any(not span.parent_id for span in members)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Stage summary (p50/p95/p99)
+# ---------------------------------------------------------------------------
+
+
+def summary(
+    spans: Sequence[Span],
+    group_attr: Optional[str] = "link",
+) -> list[dict]:
+    """Aggregate spans into per-(stage, group) rows.
+
+    ``group_attr`` names a span attribute (the testbed stamps
+    ``link``); ``None`` collapses everything per stage.  Rows carry
+    count, total seconds, and exact p50/p95/p99 of span durations.
+    """
+    buckets: dict[tuple[str, str], list[float]] = {}
+    for span in spans:
+        group = str(span.attrs.get(group_attr, "")) if group_attr else ""
+        buckets.setdefault((group, span.name), []).append(span.duration)
+    rows = []
+    for (group, name) in sorted(buckets):
+        durations = buckets[(group, name)]
+        row = {
+            "group": group,
+            "stage": name,
+            "count": len(durations),
+            "total_s": sum(durations),
+            "p50_s": percentile(durations, 50),
+            "p95_s": percentile(durations, 95),
+            "p99_s": percentile(durations, 99),
+        }
+        rows.append(row)
+    return rows
+
+
+def _format_seconds(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.3f}s"
+
+
+def summary_table(spans: Sequence[Span], group_attr: Optional[str] = "link") -> str:
+    """Render :func:`summary` as an aligned plain-text table."""
+    rows = summary(spans, group_attr=group_attr)
+    if not rows:
+        return "(no spans recorded)"
+    header = ["config", "stage", "count", "total", "p50", "p95", "p99"]
+    body = [
+        [
+            row["group"] or "-",
+            row["stage"],
+            str(row["count"]),
+            _format_seconds(row["total_s"]),
+            _format_seconds(row["p50_s"]),
+            _format_seconds(row["p95_s"]),
+            _format_seconds(row["p99_s"]),
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([fmt(header), rule] + [fmt(line) for line in body])
+
+
+# ---------------------------------------------------------------------------
+# Timeline lanes
+# ---------------------------------------------------------------------------
+
+
+def stage_lanes(
+    spans: Sequence[Span],
+    start: float,
+    end: float,
+    width: int = 72,
+) -> dict[str, str]:
+    """One ASCII lane per stage: ``#`` where any such span is active.
+
+    Plugs into :meth:`repro.bench.timeline.Timeline.render` (its
+    ``spans=`` argument) so trace activity lines up under the link and
+    queue lanes.
+    """
+    if end <= start:
+        raise ValueError("end must be after start")
+    lanes: dict[str, list[str]] = {}
+    step = (end - start) / width
+    for span in spans:
+        cells = lanes.setdefault(span.name, ["."] * width)
+        first = max(0, int((span.start - start) / step))
+        last = min(width - 1, int((span.end - start) / step))
+        if span.end < start or span.start > end:
+            continue
+        for column in range(first, last + 1):
+            cells[column] = "#"
+    return {name: "".join(cells) for name, cells in sorted(lanes.items())}

@@ -183,6 +183,8 @@ class StableLog:
         self,
         backend: Optional[MemoryLogBackend | FileLogBackend] = None,
         flush_model: Optional[FlushModel] = None,
+        obs: Optional["object"] = None,
+        owner: str = "log",
     ) -> None:
         self.backend = backend if backend is not None else MemoryLogBackend()
         self.flush_model = flush_model if flush_model is not None else FlushModel()
@@ -192,6 +194,23 @@ class StableLog:
         self.flushes = 0
         self.bytes_flushed = 0
         self._unflushed_bytes = 0
+        self._m_flush_seconds = None
+        if obs is not None:
+            # Surface the plain counters through the metrics registry
+            # as live views, and record per-flush virtual durations.
+            registry = obs.registry
+            label = {"owner": owner}
+            for attr in ("appends", "flushes", "bytes_flushed"):
+                registry.gauge(
+                    f"stable_log_{attr}", labelnames=("owner",)
+                ).labels(**label).set_function(
+                    lambda a=attr: getattr(self, a)
+                )
+            self._m_flush_seconds = registry.histogram(
+                "stable_log_flush_seconds",
+                "Virtual-time cost per flush",
+                labelnames=("owner",),
+            ).labels(**label)
 
     def append(self, payload: bytes) -> int:
         """Append a record; returns its sequence number (not yet durable)."""
@@ -213,7 +232,10 @@ class StableLog:
         self.flushes += 1
         self.bytes_flushed += pending
         self._unflushed_bytes = 0
-        return self.flush_model.flush_time(pending)
+        duration = self.flush_model.flush_time(pending)
+        if self._m_flush_seconds is not None:
+            self._m_flush_seconds.observe(duration)
+        return duration
 
     def append_durable(self, payload: bytes) -> tuple[int, float]:
         """Append and immediately flush; returns (seq, flush seconds)."""

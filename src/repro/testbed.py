@@ -22,6 +22,7 @@ from repro.net.scheduler import NetworkScheduler
 from repro.net.simnet import Host, Link, Network
 from repro.net.smtp import MailRelay, Mailbox, MailRoute, MailRpcEndpoint
 from repro.net.transport import Transport
+from repro.obs import Observatory, active_capture
 from repro.sim import Simulator
 from repro.storage.stable_log import FlushModel, StableLog
 
@@ -40,6 +41,8 @@ class Testbed:
     scheduler: NetworkScheduler
     server: RoverServer
     access: AccessManager
+    #: Shared metrics registry + tracer for every component in this bed.
+    obs: Observatory = field(default_factory=Observatory)
     relay_host: Optional[Host] = None
     relay: Optional[MailRelay] = None
     client_mailbox: Optional[Mailbox] = None
@@ -67,6 +70,8 @@ def build_testbed(
     compress_threshold: Optional[int] = None,
     batch_max: int = 1,
     seed: int = 0,
+    obs: Optional[Observatory] = None,
+    trace: bool = False,
 ) -> Testbed:
     """Build the canonical client/server testbed.
 
@@ -74,15 +79,33 @@ def build_testbed(
     With ``with_relay`` an SMTP relay host is added with its own links
     (default: same spec, always up), the client's scheduler learns the
     mail route, and the server answers mailed QRPCs.
+
+    Observability: every component shares one :class:`Observatory`
+    (``bed.obs``) so metrics land in a single registry and client and
+    server spans join into one trace.  Pass ``obs`` to supply your own
+    (e.g. shared across beds), ``trace=True`` for a fresh one with
+    span recording on, or neither for metrics-only.  A process-wide
+    capture installed via :func:`repro.obs.set_capture` (the bench
+    CLI's ``--trace-out``/``--metrics`` path) takes effect when no
+    explicit ``obs`` is given.
     """
+    if obs is None:
+        obs = active_capture() or Observatory(tracing=trace)
+    elif trace:
+        obs.tracer.enabled = True
+    obs.tracer.scope_attrs["link"] = link_spec.name
     sim = Simulator()
     network = Network(sim, seed=seed)
     client_host = network.host("client")
     server_host = network.host(authority)
     link = network.connect(client_host, server_host, link_spec, policy)
 
-    client_transport = Transport(sim, client_host, compress_threshold=compress_threshold)
-    server_transport = Transport(sim, server_host, compress_threshold=compress_threshold)
+    client_transport = Transport(
+        sim, client_host, compress_threshold=compress_threshold, obs=obs
+    )
+    server_transport = Transport(
+        sim, server_host, compress_threshold=compress_threshold, obs=obs
+    )
 
     server = RoverServer(sim, server_transport, authority, resolvers=resolvers)
     scheduler = NetworkScheduler(
@@ -91,6 +114,7 @@ def build_testbed(
         max_inflight=max_inflight,
         fifo_only=fifo_only,
         batch_max=batch_max,
+        obs=obs,
     )
 
     relay_host = relay = client_mailbox = server_mailbox = None
@@ -99,7 +123,7 @@ def build_testbed(
         relay_host = network.host("relay")
         network.connect(client_host, relay_host, relay_spec, relay_client_policy)
         network.connect(relay_host, server_host, relay_spec, relay_server_policy)
-        relay_transport = Transport(sim, relay_host)
+        relay_transport = Transport(sim, relay_host, obs=obs)
         relay = MailRelay(sim, relay_transport)
         relay.watch_new_links()
         client_mailbox = Mailbox(sim, client_transport, relay_host)
@@ -111,9 +135,19 @@ def build_testbed(
         sim,
         scheduler,
         servers={authority: server_host},
-        cache=ObjectCache(capacity_bytes=cache_capacity, clock=lambda: sim.now),
-        log=OperationLog(StableLog(flush_model=flush_model)),
+        cache=ObjectCache(
+            capacity_bytes=cache_capacity,
+            clock=lambda: sim.now,
+            obs=obs,
+            owner=client_host.name,
+        ),
+        log=OperationLog(
+            StableLog(flush_model=flush_model, obs=obs, owner=client_host.name),
+            obs=obs,
+            owner=client_host.name,
+        ),
         notifications=NotificationCenter(),
+        obs=obs,
     )
     access.watch_new_links()
 
@@ -128,6 +162,7 @@ def build_testbed(
         scheduler=scheduler,
         server=server,
         access=access,
+        obs=obs,
         relay_host=relay_host,
         relay=relay,
         client_mailbox=client_mailbox,
@@ -156,6 +191,8 @@ class MultiClientTestbed:
     server_transport: Transport
     server: RoverServer
     clients: list[ClientStack]
+    #: Shared metrics registry + tracer across the server and all clients.
+    obs: Observatory = field(default_factory=Observatory)
 
     @property
     def authority(self) -> str:
@@ -171,18 +208,27 @@ def build_multi_client_testbed(
     authority: str = "server",
     shared_medium: bool = False,
     seed: int = 0,
+    obs: Optional[Observatory] = None,
+    trace: bool = False,
 ) -> MultiClientTestbed:
     """Build N clients, each with its own link (and policy) to one server.
 
     Used by the calendar experiments, where two disconnected replicas
     make overlapping updates and reconcile at the home server.  With
     ``shared_medium=True`` every client link contends on one channel —
-    a wireless cell rather than N dedicated wires.
+    a wireless cell rather than N dedicated wires.  Per-client metric
+    series are told apart by their ``host``/``owner`` labels in the
+    shared ``bed.obs`` registry.
     """
+    if obs is None:
+        obs = active_capture() or Observatory(tracing=trace)
+    elif trace:
+        obs.tracer.enabled = True
+    obs.tracer.scope_attrs["link"] = link_spec.name
     sim = Simulator()
     network = Network(sim, seed=seed)
     server_host = network.host(authority)
-    server_transport = Transport(sim, server_host)
+    server_transport = Transport(sim, server_host, obs=obs)
     server = RoverServer(sim, server_transport, authority, resolvers=resolvers)
     medium = network.medium(f"{link_spec.name}-cell") if shared_medium else None
 
@@ -191,15 +237,20 @@ def build_multi_client_testbed(
         host = network.host(f"client{index}")
         policy = policies[index] if policies is not None else None
         link = network.connect(host, server_host, link_spec, policy, medium=medium)
-        transport = Transport(sim, host)
-        scheduler = NetworkScheduler(sim, transport)
+        transport = Transport(sim, host, obs=obs)
+        scheduler = NetworkScheduler(sim, transport, obs=obs)
         access = AccessManager(
             sim,
             scheduler,
             servers={authority: server_host},
-            cache=ObjectCache(clock=lambda: sim.now),
-            log=OperationLog(StableLog(flush_model=flush_model)),
+            cache=ObjectCache(clock=lambda: sim.now, obs=obs, owner=host.name),
+            log=OperationLog(
+                StableLog(flush_model=flush_model, obs=obs, owner=host.name),
+                obs=obs,
+                owner=host.name,
+            ),
             notifications=NotificationCenter(),
+            obs=obs,
         )
         access.watch_new_links()
         clients.append(ClientStack(host, link, transport, scheduler, access))
@@ -211,4 +262,5 @@ def build_multi_client_testbed(
         server_transport=server_transport,
         server=server,
         clients=clients,
+        obs=obs,
     )
