@@ -1,12 +1,16 @@
 PYTHON ?= python
 
-.PHONY: install test bench tables demo examples clean
+.PHONY: install test lint bench tables demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m repro.lint src/repro
+	$(PYTHON) -m repro.lint --rdos
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

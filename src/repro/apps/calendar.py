@@ -115,7 +115,9 @@ class CalendarMerge:
         merged = dict(server_events)
         notes: list[str] = []
 
-        for event_id in set(base_events) | set(client_events):
+        # Sorted union: the merged table's insertion order feeds the
+        # export wire bytes, so it must not depend on set hash order.
+        for event_id in sorted(set(base_events) | set(client_events)):
             base_e = base_events.get(event_id)
             client_e = client_events.get(event_id)
             server_e = server_events.get(event_id)

@@ -40,7 +40,14 @@ from repro.core.object_cache import CacheStatus, ObjectCache
 from repro.core.operation_log import OperationLog
 from repro.core.promise import Promise, PromiseError
 from repro.core.qrpc import Operation, QRPCRequest, QRPCStatus
-from repro.core.rdo import RDO, ExecutionCostModel, MethodSpec, RDOInterface
+from repro.core.rdo import (
+    RDO,
+    ExecutionCostModel,
+    MethodSpec,
+    RDOError,
+    RDOInterface,
+    RDOVerificationError,
+)
 from repro.core.server import RoverServer
 from repro.core.session import Session, SessionRegistry
 
@@ -73,7 +80,9 @@ __all__ = [
     "QRPCRequest",
     "QRPCStatus",
     "RDO",
+    "RDOError",
     "RDOInterface",
+    "RDOVerificationError",
     "Resolution",
     "ResolverRegistry",
     "RoverServer",

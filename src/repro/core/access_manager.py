@@ -352,10 +352,27 @@ class AccessManager:
         args: Optional[list] = None,
         session: Optional[Session] = None,
         priority: Priority = Priority.DEFAULT,
+        verify: bool = True,
     ) -> Promise:
-        """Ship an RDO to a server and run it there (one queued exchange)."""
+        """Ship an RDO to a server and run it there (one queued exchange).
+
+        The code is statically verified *here*, at the author's desk,
+        before it is logged or queued: a bad RDO surfaces as an
+        immediate :class:`~repro.core.rdo.RDOVerificationError` with
+        rule/line/col diagnostics instead of a rejection QRPC that
+        arrives after the slow link delivers it.  ``verify=False`` is
+        the escape hatch (the server then re-checks unless it too was
+        built with verification off).
+        """
         if authority not in self.servers:
             raise AccessManagerError(f"unknown authority {authority!r}")
+        if verify:
+            from repro.core.rdo import RDOVerificationError
+            from repro.core.server import _ship_code_errors
+
+            diagnostics = _ship_code_errors(code)
+            if diagnostics:
+                raise RDOVerificationError(f"ship to {authority}", diagnostics)
         request = self._new_request(
             Operation.SHIP,
             f"urn:rover:{authority}/__shipped__",

@@ -119,7 +119,11 @@ class FieldwiseMerge:
             return Resolution.unresolved("fieldwise-merge requires dict values")
         merged: dict = {}
         clashes: list[str] = []
-        for key in set(base) | set(server) | set(client):
+        # Sorted union: set iteration order varies per process (string
+        # hashing is salted), and the merged dict's insertion order is
+        # what marshal() serializes — so an unsorted walk here would
+        # make the merge's wire bytes and clash ordering nondeterministic.
+        for key in sorted(set(base) | set(server) | set(client)):
             base_v = base.get(key)
             server_v = server.get(key)
             client_v = client.get(key)

@@ -16,6 +16,12 @@ substitute is a *restricted Python* interpreter:
 This mirrors the safety/portability posture of Safe-Tcl while staying
 in pure Python — and, as the paper notes, the particular form of code
 shipping is orthogonal to the Rover architecture.
+
+The whitelist tables live in :mod:`repro.lint.rules`, shared with the
+static verifier (:mod:`repro.lint.verifier`) that enforces the same
+subset — plus interface-level properties — at *publish* time, before
+an RDO ever ships over a slow link.  This runtime check remains the
+last line of defense for code that bypassed publication.
 """
 
 from __future__ import annotations
@@ -23,106 +29,20 @@ from __future__ import annotations
 import ast
 from typing import Any, Callable, Optional
 
+# The safe-subset rule tables are shared with the static verifier
+# (:mod:`repro.lint`): one source of truth, so the publish-time check
+# and this runtime check cannot drift.  Re-exported here because this
+# module is their historical home.
+from repro.lint.rules import (  # noqa: F401  (re-exports)
+    ALLOWED_NODES as _ALLOWED_NODES,
+    FORBIDDEN_ATTRIBUTES,
+    SAFE_BUILTINS,
+)
+from repro.lint.verifier import check_whitelist
+
 STEP_GUARD_NAME = "__step__"
 
-#: Builtins available to RDO code: pure computation only.
-SAFE_BUILTINS: dict[str, Any] = {
-    "abs": abs,
-    "all": all,
-    "any": any,
-    "bool": bool,
-    "chr": chr,
-    "dict": dict,
-    "divmod": divmod,
-    "enumerate": enumerate,
-    "filter": filter,
-    "float": float,
-    "frozenset": frozenset,
-    "int": int,
-    "isinstance": isinstance,
-    "len": len,
-    "list": list,
-    "map": map,
-    "max": max,
-    "min": min,
-    "ord": ord,
-    "pow": pow,
-    "range": range,
-    "repr": repr,
-    "reversed": reversed,
-    "round": round,
-    "set": set,
-    "sorted": sorted,
-    "str": str,
-    "sum": sum,
-    "tuple": tuple,
-    "zip": zip,
-    "ValueError": ValueError,
-    "TypeError": TypeError,
-    "KeyError": KeyError,
-    "IndexError": IndexError,
-    "ZeroDivisionError": ZeroDivisionError,
-}
-
-#: Attribute names RDO code may never touch (sandbox-escape vectors).
-FORBIDDEN_ATTRIBUTES = frozenset({"format", "format_map", "mro"})
-
-_ALLOWED_NODES = (
-    ast.Module,
-    ast.FunctionDef,
-    ast.arguments,
-    ast.arg,
-    ast.Lambda,
-    ast.Return,
-    ast.Pass,
-    ast.Break,
-    ast.Continue,
-    ast.If,
-    ast.IfExp,
-    ast.For,
-    ast.While,
-    ast.Assign,
-    ast.AugAssign,
-    ast.AnnAssign,
-    ast.Delete,
-    ast.Expr,
-    ast.Call,
-    ast.keyword,
-    ast.Name,
-    ast.Load,
-    ast.Store,
-    ast.Del,
-    ast.Attribute,
-    ast.Constant,
-    ast.BinOp,
-    ast.BoolOp,
-    ast.UnaryOp,
-    ast.Compare,
-    ast.Subscript,
-    ast.Slice,
-    ast.List,
-    ast.Tuple,
-    ast.Dict,
-    ast.Set,
-    ast.ListComp,
-    ast.SetComp,
-    ast.DictComp,
-    ast.GeneratorExp,
-    ast.comprehension,
-    ast.Starred,
-    ast.JoinedStr,
-    ast.FormattedValue,
-    ast.Raise,
-    ast.Try,
-    ast.ExceptHandler,
-    ast.Assert,
-    # operator / comparator leaf nodes
-    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
-    ast.LShift, ast.RShift, ast.BitOr, ast.BitXor, ast.BitAnd, ast.MatMult,
-    ast.And, ast.Or, ast.Not, ast.Invert, ast.UAdd, ast.USub,
-    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
-    ast.Is, ast.IsNot, ast.In, ast.NotIn,
-)
+ALLOWED_NODES = _ALLOWED_NODES
 
 
 class CodeValidationError(Exception):
@@ -135,41 +55,6 @@ class ExecutionBudgetExceeded(Exception):
 
 class ExecutionError(Exception):
     """The RDO raised (or hit a runtime fault) during execution."""
-
-
-class _Validator(ast.NodeVisitor):
-    def generic_visit(self, node: ast.AST) -> None:
-        if not isinstance(node, _ALLOWED_NODES):
-            raise CodeValidationError(
-                f"disallowed construct {type(node).__name__} "
-                f"at line {getattr(node, 'lineno', '?')}"
-            )
-        super().generic_visit(node)
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if node.id.startswith("__"):
-            raise CodeValidationError(
-                f"dunder name {node.id!r} at line {node.lineno}"
-            )
-        self.generic_visit(node)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        if node.attr.startswith("_"):
-            raise CodeValidationError(
-                f"underscore attribute {node.attr!r} at line {node.lineno}"
-            )
-        if node.attr in FORBIDDEN_ATTRIBUTES:
-            raise CodeValidationError(
-                f"forbidden attribute {node.attr!r} at line {node.lineno}"
-            )
-        self.generic_visit(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        if node.decorator_list:
-            raise CodeValidationError(
-                f"decorators are not allowed (line {node.lineno})"
-            )
-        self.generic_visit(node)
 
 
 class _GuardInjector(ast.NodeTransformer):
@@ -202,12 +87,25 @@ class _GuardInjector(ast.NodeTransformer):
 
 
 def validate_source(source: str) -> ast.Module:
-    """Parse and validate RDO source; returns the module AST."""
+    """Parse and validate RDO source; returns the module AST.
+
+    Enforces exactly the whitelist rules the static verifier checks
+    (same tables, same checker); the raised error message carries the
+    full diagnostic — rule id, line, and column — for every violation,
+    not just the first.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
         raise CodeValidationError(f"syntax error: {exc}") from exc
-    _Validator().visit(tree)
+    findings = check_whitelist(tree)
+    if findings:
+        raise CodeValidationError(
+            "; ".join(
+                f"{d.message} (rule {d.rule}, line {d.line} col {d.col})"
+                for d in findings
+            )
+        )
     return tree
 
 

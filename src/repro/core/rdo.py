@@ -83,6 +83,24 @@ class RDOError(Exception):
     """Misuse of an RDO (unknown method, non-marshallable state, ...)."""
 
 
+class RDOVerificationError(RDOError):
+    """Static verification rejected an RDO at publish/ship time.
+
+    Carries the full diagnostic list (rule id, file, line, col, hint
+    for every finding) so a bad RDO is a precise report at the
+    author's desk instead of a failed QRPC on the far side of a slow
+    link.
+    """
+
+    def __init__(self, label: str, diagnostics: list) -> None:
+        self.diagnostics = list(diagnostics)
+        details = "\n".join(d.format() for d in self.diagnostics)
+        super().__init__(f"{label} failed static verification:\n{details}")
+
+    def to_wire(self) -> list:
+        return [d.to_wire() for d in self.diagnostics]
+
+
 class RDO:
     """A relocatable dynamic object: named, versioned data plus code."""
 
@@ -144,6 +162,32 @@ class RDO:
     def size_bytes(self) -> int:
         """Marshalled size — what importing this object costs on the wire."""
         return marshalled_size(self.to_wire())
+
+    # -- static verification ----------------------------------------------
+
+    def verify(self, extra_names: tuple = ()) -> list:
+        """Run the static verifier over this RDO's code + interface.
+
+        Returns the diagnostic list (empty when clean, or when the RDO
+        is pure data).  Publish hooks gate on ERROR-severity findings;
+        see :func:`repro.lint.verifier.verify_rdo` for the rule set.
+        """
+        from repro.lint.verifier import verify_rdo
+
+        return verify_rdo(
+            self.code,
+            self.interface,
+            path=f"<rdo:{self.urn}>",
+            extra_names=extra_names,
+        )
+
+    def verify_or_raise(self, extra_names: tuple = ()) -> None:
+        """Raise :class:`RDOVerificationError` on ERROR findings."""
+        from repro.lint.diagnostics import errors_only
+
+        errors = errors_only(self.verify(extra_names))
+        if errors:
+            raise RDOVerificationError(str(self.urn), errors)
 
     # -- execution --------------------------------------------------------
 

@@ -24,13 +24,28 @@ from typing import Any, Optional
 
 from repro.core.conflict import ConflictReport, ResolverRegistry
 from repro.core.interpreter import SafeInterpreter
-from repro.core.rdo import RDO, ExecutionCostModel
+from repro.core.rdo import RDO, ExecutionCostModel, RDOVerificationError
 from repro.net.simnet import Address
 from repro.net.transport import DelayedReply, Transport
 from repro.obs import Observatory
 from repro.obs.trace import TRACE_KEY, parse_context
 from repro.sim import Simulator
 from repro.storage.kvstore import KVStore
+
+
+#: Host helpers exposed to shipped RDO code (the ``rover.ship``
+#: execution environment); the static verifier treats these as defined.
+SHIP_ENV_NAMES = ("lookup", "objects")
+
+
+def _ship_code_errors(code: str) -> list:
+    """ERROR-severity findings for code arriving on the ship path."""
+    from repro.lint.diagnostics import errors_only
+    from repro.lint.verifier import check_code
+
+    return errors_only(
+        check_code(code, path="<shipped-rdo>", extra_names=SHIP_ENV_NAMES)
+    )
 
 
 class RoverServer:
@@ -47,6 +62,7 @@ class RoverServer:
         step_budget: int = 200_000,
         auth_tokens: Optional[set[str]] = None,
         obs: Optional[Observatory] = None,
+        verify_rdos: bool = True,
     ) -> None:
         self.sim = sim
         self.transport = transport
@@ -71,6 +87,14 @@ class RoverServer:
         #: model the authentication decision, not the cryptography.
         self.auth_tokens = auth_tokens
         self.auth_rejections = 0
+        #: Static verification at the publish/ship boundary: a bad RDO
+        #: is rejected *here*, with precise diagnostics, instead of
+        #: failing on a client mid-invocation after crossing a slow
+        #: link.  ``verify_rdos=False`` is the escape hatch for
+        #: deliberately unverifiable code (it still faces the runtime
+        #: sandbox, the last line of defense).
+        self.verify_rdos = verify_rdos
+        self.rdos_rejected = 0
         self.history_limit = history_limit
         self._history: dict[str, list[tuple[int, Any]]] = {}
         self._applied: dict[str, dict] = {}
@@ -114,6 +138,7 @@ class RoverServer:
             "ships_served",
             "duplicates_suppressed",
             "auth_rejections",
+            "rdos_rejected",
             "invalidations_sent",
             "locks_granted",
             "locks_denied",
@@ -124,8 +149,22 @@ class RoverServer:
 
     # -- population ---------------------------------------------------------
 
-    def put_object(self, rdo: RDO) -> int:
-        """Install/replace an object (server-side administration)."""
+    def put_object(self, rdo: RDO, verify: Optional[bool] = None) -> int:
+        """Install/replace an object (server-side administration).
+
+        When verification is on (the default; ``verify`` overrides the
+        server-wide :attr:`verify_rdos` per call), the RDO's code is
+        statically verified against its interface and the publish is
+        rejected — :class:`RDOVerificationError`, listing every
+        finding with rule/file/line/col — before anything is stored.
+        """
+        should_verify = self.verify_rdos if verify is None else verify
+        if should_verify:
+            try:
+                rdo.verify_or_raise()
+            except RDOVerificationError:
+                self.rdos_rejected += 1
+                raise
         key = str(rdo.urn)
         version = self.store.put(key, rdo.to_wire())
         stored = self.store.get_value(key)
@@ -339,6 +378,12 @@ class RoverServer:
         code = body.get("code", "")
         method = body.get("method", "main")
         args = body.get("args", [])
+
+        if self.verify_rdos and not body.get("unverified"):
+            diagnostics = _ship_code_errors(code)
+            if diagnostics:
+                self.rdos_rejected += 1
+                raise RDOVerificationError("shipped RDO", diagnostics)
 
         def lookup(urn: str) -> Any:
             wire = self.store.get_value(urn)

@@ -1,0 +1,64 @@
+"""Static analysis for the Rover toolkit.
+
+Two AST-based analyzers over one diagnostic core:
+
+* :mod:`repro.lint.verifier` — the RDO static verifier: publish-time
+  enforcement of the safe subset, mutation purity against the declared
+  interface, marshal-ability, name resolution, and bounded execution;
+* :mod:`repro.lint.sanitizer` — the simulation-determinism sanitizer:
+  a repo-wide lint (``python -m repro.lint src/repro``) flagging
+  wall-clock access, unseeded randomness, and unordered-set iteration.
+
+The rule tables both analyzers (and the runtime
+:class:`~repro.core.interpreter.SafeInterpreter`) enforce live in
+:mod:`repro.lint.rules`, so static and runtime checks cannot drift.
+
+This package imports nothing from :mod:`repro.core`; it sits below the
+toolkit in the dependency graph.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    errors_only,
+    format_diagnostics,
+    sort_diagnostics,
+)
+from repro.lint.rules import (
+    ALLOWED_NODES,
+    FORBIDDEN_ATTRIBUTES,
+    MARSHALLABLE_TYPES,
+    MUTATING_METHODS,
+    RULES,
+    SAFE_BUILTINS,
+)
+from repro.lint.sanitizer import scan_file, scan_paths, scan_source
+from repro.lint.verifier import (
+    check_code,
+    check_mutation_purity,
+    check_whitelist,
+    find_state_mutation,
+    verify_rdo,
+)
+
+__all__ = [
+    "ALLOWED_NODES",
+    "Diagnostic",
+    "FORBIDDEN_ATTRIBUTES",
+    "MARSHALLABLE_TYPES",
+    "MUTATING_METHODS",
+    "RULES",
+    "SAFE_BUILTINS",
+    "Severity",
+    "check_code",
+    "check_mutation_purity",
+    "check_whitelist",
+    "errors_only",
+    "find_state_mutation",
+    "format_diagnostics",
+    "scan_file",
+    "scan_paths",
+    "scan_source",
+    "sort_diagnostics",
+    "verify_rdo",
+]

@@ -1,0 +1,237 @@
+"""The simulation-determinism sanitizer.
+
+The repo's north star is a *reproducible* simulation substrate: the
+same seed must yield the same virtual-time schedule, the same
+marshalled bytes, and the same merge outcomes on every run, on every
+platform.  Three hazards quietly break that:
+
+* **wall-clock reads** (``time.time()``, ``datetime.now()``) leak real
+  time into virtual-time components — only :mod:`repro.live` may touch
+  the real clock;
+* **direct ``random`` use** bypasses :func:`repro.sim.rng.make_rng`'s
+  named streams, so adding randomness to one component perturbs every
+  other;
+* **iteration over unordered set/dict-keys unions** makes insertion
+  order — and therefore marshalled bytes, clash-report ordering, and
+  scheduling ties — vary across processes (Python sets hash-order
+  strings per-process unless ``PYTHONHASHSEED`` is pinned).
+
+This pass walks a file tree's ASTs and flags all three.  Run it as
+``python -m repro.lint src/repro``; the tree must come out clean and
+CI gates on it.
+
+Suppressions: a line containing ``# lint: ignore[DETxxx]`` silences
+that rule on that line; ``# lint: ignore`` silences every rule.  Files
+under ``repro/live/`` are exempt from DET101, and ``sim/rng.py`` (the
+one sanctioned ``random`` consumer) from DET201.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterable, Optional
+
+from repro.lint.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.lint.rules import rule_hint
+
+#: ``module.attribute`` pairs that read the real clock.
+_WALLCLOCK_ATTRS = {
+    "time": {"time", "monotonic", "perf_counter", "sleep", "time_ns", "monotonic_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: Names importable from ``time`` that read the real clock.
+_WALLCLOCK_FROM_TIME = {"time", "monotonic", "perf_counter", "sleep"}
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+
+
+def _suppressions(source: str) -> dict[int, Optional[set[str]]]:
+    """line number -> suppressed rule ids (``None`` = all rules)."""
+    table: dict[int, Optional[set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return table
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _exempt(rule: str, path: str) -> bool:
+    normalized = _norm(path)
+    if rule == "DET101":
+        return "/live/" in normalized or normalized.endswith("/live")
+    if rule == "DET201":
+        return normalized.endswith("sim/rng.py")
+    return False
+
+
+def _is_setish(node: ast.expr) -> bool:
+    """Expression whose value is an unordered set (statically evident):
+    ``set(...)``/``frozenset(...)`` calls, ``.keys()`` views, set
+    literals/comprehensions, and set-operator combinations of those."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_setish(node.left) or _is_setish(node.right)
+    return False
+
+
+def _is_unordered_union(node: ast.expr) -> bool:
+    """A set-operator combination of set-ish operands — the hazard: the
+    result's iteration order depends on per-process string hashing."""
+    return isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ) and _is_setish(node)
+
+
+class _FileSanitizer(ast.NodeVisitor):
+    def __init__(self, path: str, suppressions: dict[int, Optional[set[str]]]) -> None:
+        self.path = path
+        self.suppressions = suppressions
+        self.findings: list[Diagnostic] = []
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        if _exempt(rule, self.path):
+            return
+        lineno = getattr(node, "lineno", 0)
+        if lineno in self.suppressions:
+            suppressed = self.suppressions[lineno]
+            if suppressed is None or rule in suppressed:
+                return
+        self.findings.append(Diagnostic(
+            rule=rule,
+            severity=Severity.ERROR,
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=rule_hint(rule),
+        ))
+
+    # -- DET101 / DET201: imports ------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._report(
+                    "DET201", node,
+                    "direct import of the random module",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._report("DET201", node, "direct import from the random module")
+        elif node.module == "time":
+            clocky = sorted(
+                alias.name for alias in node.names
+                if alias.name in _WALLCLOCK_FROM_TIME
+            )
+            if clocky:
+                self._report(
+                    "DET101", node,
+                    f"wall-clock import from time: {', '.join(clocky)}",
+                )
+        self.generic_visit(node)
+
+    # -- DET101 / DET201: attribute call sites ------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        root = node.value
+        base = None
+        if isinstance(root, ast.Name):
+            base = root.id.lstrip("_")
+        elif isinstance(root, ast.Attribute) and root.attr in ("datetime", "date"):
+            base = root.attr  # datetime.datetime.now(), datetime.date.today()
+        if base is not None:
+            if node.attr in _WALLCLOCK_ATTRS.get(base, ()):  # time.time, ...
+                self._report(
+                    "DET101", node, f"wall-clock access {base}.{node.attr}"
+                )
+            if base == "random":
+                self._report(
+                    "DET201", node,
+                    f"direct random-module use random.{node.attr}",
+                )
+        self.generic_visit(node)
+
+    # -- DET301: unordered iteration ----------------------------------------
+
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        if _is_unordered_union(iter_node):
+            self._report(
+                "DET301", iter_node,
+                "iteration over an unordered set/dict-keys union",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def scan_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Sanitize one file's source text."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            rule="DET000",
+            severity=Severity.ERROR,
+            path=path,
+            line=exc.lineno or 0,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )]
+    checker = _FileSanitizer(path, _suppressions(source))
+    checker.visit(tree)
+    return checker.findings
+
+
+def scan_file(path: str) -> list[Diagnostic]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return scan_source(handle.read(), path)
+
+
+def scan_paths(paths: Iterable[str]) -> list[Diagnostic]:
+    """Sanitize files and/or directory trees (``.py`` files only)."""
+    findings: list[Diagnostic] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        findings += scan_file(os.path.join(dirpath, filename))
+        else:
+            findings += scan_file(path)
+    return sort_diagnostics(findings)

@@ -170,3 +170,48 @@ def test_conflict_report_wire_roundtrip():
     )
     clone = ConflictReport.from_wire(report.to_wire())
     assert clone == report
+
+
+class TestMergeDeterminism:
+    """Regression: DET301 — the fieldwise merge used to iterate an
+    unsorted ``set(base) | set(server) | set(client)``, so the merged
+    dict's insertion order (and therefore its marshalled bytes and
+    clash-report ordering) depended on per-process string hashing."""
+
+    def test_fieldwise_merge_bytes_identical_across_key_orderings(self):
+        from repro.net.message import marshal
+
+        keys = [f"field_{i}" for i in range(12)]
+        # Two interpreter runs' worth of key orderings: the same logical
+        # dicts built in opposite insertion orders (what differing
+        # per-process set iteration would have produced).
+        def build(ordering):
+            base = {k: 0 for k in ordering}
+            server = dict(base, field_0=1, field_3=3)
+            client = dict(base, field_5=5, field_9=9)
+            return base, server, client
+
+        first = FieldwiseMerge().resolve(*build(keys))
+        second = FieldwiseMerge().resolve(*build(list(reversed(keys))))
+        assert first.resolved and second.resolved
+        assert marshal(first.merged_value) == marshal(second.merged_value)
+
+    def test_merged_keys_come_out_sorted(self):
+        base = {"b": 1}
+        server = {"b": 1, "z": 2, "a": 3}
+        client = {"b": 1, "m": 4}
+        result = FieldwiseMerge().resolve(base, server, client)
+        assert list(result.merged_value) == sorted(result.merged_value)
+
+    def test_clash_report_ordering_stable(self):
+        base = {"k1": 0, "k2": 0}
+        server = {"k1": 1, "k2": 1}
+        client = {"k1": 2, "k2": 2}
+        a = FieldwiseMerge().resolve(base, server, client)
+        b = FieldwiseMerge().resolve(
+            dict(reversed(base.items())),
+            dict(reversed(server.items())),
+            dict(reversed(client.items())),
+        )
+        assert not a.resolved and not b.resolved
+        assert a.detail == b.detail

@@ -1,0 +1,129 @@
+"""Determinism sanitizer tests: the three hazard rules, exemptions,
+suppressions, and the repo self-clean gate."""
+
+import os
+
+import repro
+from repro.lint import scan_paths, scan_source
+from repro.lint.diagnostics import errors_only
+
+
+def rules_of(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        diags = scan_source("import time\nt = time.time()\n", "repro/sim/x.py")
+        diag = [d for d in diags if d.rule == "DET101"][0]
+        assert diag.line == 2
+
+    def test_time_monotonic_and_sleep_flagged(self):
+        source = "import time\ntime.sleep(1)\nx = time.monotonic()\n"
+        assert len([d for d in scan_source(source, "a.py") if d.rule == "DET101"]) == 2
+
+    def test_datetime_now_flagged(self):
+        assert "DET101" in rules_of(
+            scan_source("import datetime\nn = datetime.datetime.now()\n", "a.py")
+        )
+
+    def test_from_time_import_flagged(self):
+        assert "DET101" in rules_of(scan_source("from time import time\n", "a.py"))
+
+    def test_live_tree_exempt(self):
+        source = "import time\nt = time.time()\n"
+        assert scan_source(source, "src/repro/live/clock.py") == []
+        # ...but the same source anywhere else is flagged.
+        assert scan_source(source, "src/repro/net/link.py") != []
+
+    def test_virtual_time_attribute_not_flagged(self):
+        # sim.now / self.time are how components are *supposed* to read
+        # time; only the real-clock modules trip the rule.
+        assert scan_source("t = sim.now\nx = self.time\n", "a.py") == []
+
+
+class TestRandomness:
+    def test_import_random_flagged(self):
+        assert "DET201" in rules_of(scan_source("import random\n", "a.py"))
+
+    def test_random_call_flagged(self):
+        diags = scan_source("import random\nx = random.random()\n", "a.py")
+        assert len([d for d in diags if d.rule == "DET201"]) == 2
+
+    def test_from_random_import_flagged(self):
+        assert "DET201" in rules_of(
+            scan_source("from random import shuffle\n", "a.py")
+        )
+
+    def test_sim_rng_is_the_sanctioned_consumer(self):
+        source = "import random\n\ndef make_rng(seed):\n    return random.Random(seed)\n"
+        assert scan_source(source, "src/repro/sim/rng.py") == []
+
+
+class TestUnorderedIteration:
+    def test_set_union_for_loop_flagged(self):
+        source = "for k in set(a) | set(b):\n    pass\n"
+        diags = scan_source(source, "a.py")
+        assert rules_of(diags) == {"DET301"}
+        assert diags[0].line == 1
+
+    def test_triple_union_flagged(self):
+        source = "for k in set(a) | set(b) | set(c):\n    pass\n"
+        assert "DET301" in rules_of(scan_source(source, "a.py"))
+
+    def test_keys_union_flagged(self):
+        source = "for k in d.keys() | e.keys():\n    pass\n"
+        assert "DET301" in rules_of(scan_source(source, "a.py"))
+
+    def test_set_difference_flagged(self):
+        source = "for k in set(a) - set(b):\n    pass\n"
+        assert "DET301" in rules_of(scan_source(source, "a.py"))
+
+    def test_comprehension_flagged(self):
+        source = "xs = [k for k in set(a) | set(b)]\n"
+        assert "DET301" in rules_of(scan_source(source, "a.py"))
+
+    def test_sorted_union_is_the_fix(self):
+        source = "for k in sorted(set(a) | set(b)):\n    pass\n"
+        assert scan_source(source, "a.py") == []
+
+    def test_plain_dict_iteration_not_flagged(self):
+        # dicts preserve insertion order; iterating one is fine.
+        source = "for k in d:\n    pass\nfor k in d.items():\n    pass\n"
+        assert scan_source(source, "a.py") == []
+
+    def test_integer_bitor_not_flagged(self):
+        assert scan_source("for k in [a | b]:\n    pass\n", "a.py") == []
+
+
+class TestSuppressions:
+    def test_targeted_suppression(self):
+        source = "for k in set(a) | set(b):  # lint: ignore[DET301]\n    pass\n"
+        assert scan_source(source, "a.py") == []
+
+    def test_blanket_suppression(self):
+        source = "t = time.time()  # lint: ignore\n"
+        assert scan_source(source, "a.py") == []
+
+    def test_wrong_rule_suppression_does_not_silence(self):
+        source = "for k in set(a) | set(b):  # lint: ignore[DET101]\n    pass\n"
+        assert "DET301" in rules_of(scan_source(source, "a.py"))
+
+
+class TestSelfCleanGate:
+    def test_src_repro_is_clean(self):
+        """`python -m repro.lint src/repro` exits 0: the CI gate."""
+        tree = os.path.dirname(os.path.abspath(repro.__file__))
+        findings = errors_only(scan_paths([tree]))
+        assert findings == [], "\n".join(d.format() for d in findings)
+
+    def test_scan_paths_accepts_single_files(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert rules_of(scan_paths([str(dirty)])) == {"DET201"}
+
+    def test_scan_is_deterministic_order(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\n")
+        (tmp_path / "a.py").write_text("import random\n")
+        paths = [d.path for d in scan_paths([str(tmp_path)])]
+        assert paths == sorted(paths)
