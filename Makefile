@@ -1,6 +1,7 @@
 PYTHON ?= python
+CHAOS_SEED ?= 0
 
-.PHONY: install test lint bench tables demo examples clean
+.PHONY: install test lint bench tables chaos demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -17,6 +18,11 @@ bench:
 
 tables:
 	$(PYTHON) -m repro.bench
+
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest -q \
+		tests/test_chaos_faults.py tests/test_chaos_convergence.py \
+		benchmarks/test_e13_chaos.py
 
 demo:
 	$(PYTHON) -m repro

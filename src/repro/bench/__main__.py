@@ -200,6 +200,18 @@ def _e12() -> str:
     )
 
 
+def _e13() -> str:
+    rows = E.run_e13_chaos()
+    return format_table(
+        "E13 - availability under seeded chaos (mail workload)",
+        ["config", "sends", "acked", "mean ack", "p95 ack", "retx",
+         "faults", "corrupt det", "violations"],
+        [[r["config"], r["sends"], r["acked"], fs(r["mean_ack_s"]),
+          fs(r["p95_ack_s"]), r["retransmissions"], r["faults_injected"],
+          r["corrupt_detected"], r["violations"]] for r in rows],
+    )
+
+
 def _f1() -> str:
     rows = E.run_f1_size_sweep()
     return format_table(
@@ -244,6 +256,7 @@ EXPERIMENTS = {
     "e10": _e10,
     "e11": _e11,
     "e12": _e12,
+    "e13": _e13,
     "f1": _f1,
     "f2": _f2,
     "f3": _f3,
@@ -261,6 +274,7 @@ RAW = {
     "e7": lambda: E.run_e7_clickahead(),
     "e10": lambda: E.run_e10_compression(),
     "e11": lambda: E.run_e11_batching(),
+    "e13": lambda: E.run_e13_chaos(),
     "f1": lambda: E.run_f1_size_sweep(),
     "f2": lambda: E.run_f2_availability(),
     "f3": lambda: E.run_f3_shared_cell(),

@@ -1,0 +1,44 @@
+"""repro.chaos — seeded fault injection with end-to-end crash recovery.
+
+Failure is Rover's common case: QRPCs exist so that "mobile
+communication [is] an optimization of disconnected operation".  This
+package generates those failures deterministically *during* a running
+simulation and supplies the recovery machinery they exercise:
+
+* :class:`FaultyLink` / :class:`LinkFaultSpec` — seeded probabilistic
+  drop, duplication, corruption, and reordering on any link;
+* :class:`ChaosController` — server crash/restart and client crashes
+  as mid-run simulator events, driven by a declarative
+  :class:`FaultPlan`;
+* :mod:`repro.chaos.recovery` — client crash-recovery replay from the
+  stable operation log (paper §5.2);
+* :mod:`repro.chaos.invariants` — post-run checkers shared by tests
+  and benchmarks;
+* :func:`run_chaos_scenario` — the canonical end-to-end availability
+  scenario (benchmark E13).
+
+See ``docs/ROBUSTNESS.md`` for the failure model and fault catalogue.
+"""
+
+from repro.chaos import invariants
+from repro.chaos.controller import ChaosController
+from repro.chaos.faults import ChaosError, FaultyLink, LinkFaultSpec, flaky_policies
+from repro.chaos.plan import ClientCrash, FaultPlan, LinkFaultWindow, ServerOutage
+from repro.chaos.recovery import crash_and_recover_client
+from repro.chaos.scenario import run_chaos_scenario, standard_plan
+
+__all__ = [
+    "ChaosController",
+    "ChaosError",
+    "ClientCrash",
+    "FaultPlan",
+    "FaultyLink",
+    "LinkFaultSpec",
+    "LinkFaultWindow",
+    "ServerOutage",
+    "crash_and_recover_client",
+    "flaky_policies",
+    "invariants",
+    "run_chaos_scenario",
+    "standard_plan",
+]

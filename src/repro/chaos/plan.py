@@ -1,0 +1,76 @@
+"""The fault-plan schedule DSL.
+
+A :class:`FaultPlan` is a declarative description of everything that
+will go wrong during a run: when the server crashes and for how long,
+when each client crashes, and which links carry probabilistic faults
+over which windows.  Plans are frozen dataclasses — a plan plus a seed
+fully determines the injected fault sequence, which is what makes a
+chaos run reproducible.
+
+Hand a plan to :meth:`repro.chaos.ChaosController.schedule` to arm it
+against a testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.faults import ChaosError, LinkFaultSpec
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """Crash the server at ``at``; restart it ``down_for`` later."""
+
+    at: float
+    down_for: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ChaosError(f"outage start {self.at} is negative")
+        if self.down_for <= 0:
+            raise ChaosError(f"outage duration {self.down_for} must be positive")
+
+
+@dataclass(frozen=True)
+class ClientCrash:
+    """Crash (and immediately recover) client ``client`` at ``at``."""
+
+    at: float
+    client: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ChaosError(f"crash time {self.at} is negative")
+
+
+@dataclass(frozen=True)
+class LinkFaultWindow:
+    """Apply ``spec`` to matching links between ``start`` and ``end``.
+
+    ``link`` selects by link name; ``None`` matches every link in the
+    testbed's network.  ``end=None`` keeps the injector installed for
+    the rest of the run.
+    """
+
+    spec: LinkFaultSpec
+    start: float = 0.0
+    end: Optional[float] = None
+    link: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ChaosError(f"window start {self.start} is negative")
+        if self.end is not None and self.end <= self.start:
+            raise ChaosError(f"window ({self.start}, {self.end}) is empty")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong, and when."""
+
+    seed: int = 0
+    server_outages: tuple[ServerOutage, ...] = field(default_factory=tuple)
+    client_crashes: tuple[ClientCrash, ...] = field(default_factory=tuple)
+    link_windows: tuple[LinkFaultWindow, ...] = field(default_factory=tuple)

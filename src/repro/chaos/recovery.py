@@ -1,0 +1,88 @@
+"""Client crash-and-recover: rebuild the stack from the stable log.
+
+Section 5.2 of the paper makes the operation log the client's sole
+crash survivor: "the operation log is the only data structure that
+must survive a crash".  This module models exactly that.  Crashing a
+client:
+
+* abandons the scheduler's queue and in-flight window (volatile),
+* cancels the transport's pending call timers (volatile),
+* crashes the stable log backend — appends not yet flushed die
+  (the :class:`~repro.storage.stable_log.FileLogBackend` truncates
+  back to the last fsync'd offset),
+* drops the object cache, promises, and notification subscriptions
+  (all volatile),
+
+then rebuilds an :class:`~repro.core.access_manager.AccessManager`
+over the *same* backend with a bumped incarnation number, and replays
+every logged-but-unacknowledged QRPC through ``recover()``.  Replay is
+idempotent end to end: the server's version stamps plus type-specific
+resolvers absorb re-applied updates, and the incarnation qualifier in
+fresh request ids prevents collisions with the dead process's ids.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.notification import NotificationCenter
+from repro.core.object_cache import ObjectCache
+from repro.core.operation_log import OperationLog
+from repro.storage.stable_log import StableLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.access_manager import AccessManager
+
+
+def crash_and_recover_client(access: "AccessManager") -> tuple["AccessManager", list[str]]:
+    """Kill the client process ``access`` models and rebuild it.
+
+    Returns ``(new_access, replayed_request_ids)``.  The old manager
+    is dead after this call: its scheduled callbacks are suppressed
+    and its scheduler/transport state is gone.
+    """
+    from repro.core.access_manager import AccessManager
+    from repro.core.server import INVALIDATION_PORT
+
+    sim = access.sim
+    scheduler = access.scheduler
+    host = access.host
+
+    # -- the crash: volatile state dies -------------------------------
+    scheduler.abandon_all()
+    scheduler.transport.crash()
+    access.log.stable.crash()  # unflushed log appends are lost
+    host.unbind(INVALIDATION_PORT)
+    access._crashed = True  # scheduled _submit/_group_flush must not fire
+    if access._group_flush_timer is not None:
+        access._group_flush_timer.cancel()
+        access._group_flush_timer = None
+
+    # -- the restart: rebuild from the stable log ---------------------
+    stable = StableLog(
+        access.log.stable.backend,
+        flush_model=access.log.stable.flush_model,
+        obs=access.obs,
+        owner=host.name,
+    )
+    reborn = AccessManager(
+        sim,
+        scheduler,
+        servers=dict(access.servers),
+        cache=ObjectCache(
+            capacity_bytes=access.cache.capacity_bytes,
+            clock=lambda: sim.now,
+            obs=access.obs,
+            owner=host.name,
+        ),
+        log=OperationLog(stable, obs=access.obs, owner=host.name),
+        notifications=NotificationCenter(),
+        cost_model=access.cost_model,
+        auth_token=access.auth_token,
+        group_commit_s=access.group_commit_s,
+        obs=access.obs,
+        incarnation=access.incarnation + 1,
+    )
+    reborn.watch_new_links()
+    replayed = reborn.recover()
+    return reborn, replayed

@@ -65,10 +65,19 @@ class AccessManager:
         auth_token: str = "",
         group_commit_s: float = 0.0,
         obs: Optional[Observatory] = None,
+        incarnation: int = 0,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
         self.host = scheduler.host
+        #: Which life of this client process we are (bumped by
+        #: crash-recovery); qualifies request ids so a recovered
+        #: client's fresh requests never collide with a dead
+        #: incarnation's.
+        self.incarnation = incarnation
+        #: Set by chaos crash-recovery on the *old* manager: scheduled
+        #: submissions belonging to the dead process must not fire.
+        self._crashed = False
         #: Observability: defaults to the scheduler's observatory so a
         #: hand-wired stack shares one registry/tracer per client.
         #: (Live schedulers carry none; fall back to a private one.)
@@ -531,7 +540,12 @@ class AccessManager:
         self._invalidation_bound = True
 
         def on_datagram(payload: bytes, source: Any) -> None:
-            message = Transport._decode_payload(payload)
+            from repro.net.message import MarshalError
+
+            try:
+                message = Transport._decode_payload(payload)
+            except MarshalError:
+                return  # corrupt callback: best-effort channel, drop it
             if not isinstance(message, dict) or message.get("kind") != "invalidate":
                 return
             urn = message.get("urn", "")
@@ -581,7 +595,9 @@ class AccessManager:
         session: Optional[Session],
         priority: Priority,
     ) -> QRPCRequest:
-        request_id = make_request_id(self.host.name, self._request_counter)
+        request_id = make_request_id(
+            self.host.name, self._request_counter, self.incarnation
+        )
         self._request_counter += 1
         return QRPCRequest(
             request_id=request_id,
@@ -648,6 +664,8 @@ class AccessManager:
 
     def _group_flush(self) -> None:
         """One flush covers every append in the group-commit window."""
+        if self._crashed:
+            return
         self._group_flush_timer = None
         flush_time = self.log.flush()
         self.flush_seconds_total += flush_time
@@ -659,6 +677,8 @@ class AccessManager:
             self.sim.schedule(durable_at - self.sim.now, self._submit, request, session)
 
     def _submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
+        if self._crashed:
+            return  # a dead incarnation's log flush completing
         dst = self._server_for(request.urn)
         body = dict(request.args)
         body["urn"] = request.urn

@@ -48,6 +48,14 @@ class URN:
         return URN(self.authority, f"{self.path}/{component}")
 
 
-def make_request_id(host_name: str, counter: int) -> str:
-    """Globally unique, deterministic QRPC request id."""
+def make_request_id(host_name: str, counter: int, incarnation: int = 0) -> str:
+    """Globally unique, deterministic QRPC request id.
+
+    ``incarnation`` distinguishes successive lives of the same client
+    process: a recovered client restarts its counter at the replayed
+    log's tail, so without the qualifier a new request could collide
+    with (and be deduplicated against) a dead incarnation's request.
+    """
+    if incarnation:
+        return f"{host_name}+{incarnation}/{counter}"
     return f"{host_name}/{counter}"

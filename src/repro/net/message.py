@@ -17,6 +17,7 @@ Supported types: ``None``, ``bool``, ``int`` (arbitrary precision),
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any
 
 _TAG_NONE = b"N"
@@ -192,3 +193,31 @@ def unmarshal(data: bytes) -> Any:
 def marshalled_size(value: Any) -> int:
     """Size in bytes of the encoded value (what a link would carry)."""
     return len(marshal(value))
+
+
+_SEAL_HEADER = struct.Struct(">I")  # CRC32 of the sealed body
+
+
+def seal(data: bytes) -> bytes:
+    """Prefix ``data`` with a CRC32 so in-flight corruption is detectable.
+
+    The wire envelope carries the seal; :func:`unseal` verifies it
+    before any unmarshalling happens, so a flipped byte surfaces as a
+    :class:`MarshalError` instead of a silently wrong value.
+    """
+    return _SEAL_HEADER.pack(zlib.crc32(data)) + data
+
+
+def unseal(data: bytes) -> bytes:
+    """Verify and strip the CRC32 prefix added by :func:`seal`.
+
+    Raises :class:`MarshalError` when the frame is too short to carry
+    its checksum or the checksum does not match the body.
+    """
+    if len(data) < _SEAL_HEADER.size:
+        raise MarshalError("sealed frame shorter than its checksum")
+    (crc,) = _SEAL_HEADER.unpack_from(data)
+    body = data[_SEAL_HEADER.size:]
+    if zlib.crc32(body) != crc:
+        raise MarshalError("sealed frame failed its CRC32 check")
+    return body

@@ -206,6 +206,7 @@ class NetworkScheduler:
         fifo_only: bool = False,
         batch_max: int = 1,
         obs: Optional[Observatory] = None,
+        rpc_timeout: float = 600.0,
     ) -> None:
         self.sim = sim
         self.transport = transport
@@ -215,12 +216,17 @@ class NetworkScheduler:
         self.base_backoff = base_backoff
         self.max_backoff = max_backoff
         self.fifo_only = fifo_only
+        #: Per-attempt reply timeout for the default direct route.
+        #: Chaos runs shrink this so corrupted/dropped frames (which
+        #: are invisible to the sender) burn less virtual time before
+        #: retransmission.
+        self.rpc_timeout = rpc_timeout
         #: Channel-use optimization for draining a parked queue: up to
         #: this many same-destination messages ride one wire exchange
         #: (service ``rover.batch``; the server must support it).
         #: 1 disables batching (the paper's prototype behaviour).
         self.batch_max = batch_max
-        self.routes: list[Route] = [DirectRoute(transport)]
+        self.routes: list[Route] = [DirectRoute(transport, timeout=rpc_timeout)]
         self._heap: list[tuple[tuple[int, int], QueuedMessage]] = []
         #: Every message not yet in a terminal state (queued, backing
         #: off, or in flight) — the set a crash simulation abandons.

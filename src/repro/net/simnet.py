@@ -55,6 +55,21 @@ class Host:
     def unbind(self, port: int) -> None:
         self._ports.pop(port, None)
 
+    def take_ports(self) -> dict[int, PortHandler]:
+        """Unbind every port at once and return the old bindings.
+
+        Models a process crash: the sockets close, traffic to the host
+        now counts as ``dropped_to_unbound``.  Pair with
+        :meth:`restore_ports` when the process restarts.
+        """
+        taken, self._ports = self._ports, {}
+        return taken
+
+    def restore_ports(self, ports: dict[int, PortHandler]) -> None:
+        """Re-install bindings saved by :meth:`take_ports`."""
+        for port, handler in ports.items():
+            self.bind(port, handler)
+
     def links_to(self, peer: "Host") -> list["Link"]:
         """All links attached to both this host and ``peer``."""
         return [link for link in self.links if link.peer_of(self) is peer]
@@ -86,6 +101,25 @@ class Medium:
         self.name = name
         self.busy_until = 0.0
         self.bytes_carried = 0
+
+
+class Delivery:
+    """One planned arrival of a payload at the receiving host.
+
+    A normal send produces exactly one; a fault injector installed on
+    the link (see ``Link.fault_injector``) may rewrite it into zero or
+    more — dropping it (``fail_reason`` set), duplicating it, delaying
+    it, or corrupting its bytes.
+    """
+
+    __slots__ = ("time", "payload", "fail_reason")
+
+    def __init__(
+        self, time: float, payload: bytes, fail_reason: Optional[str] = None
+    ) -> None:
+        self.time = time
+        self.payload = payload
+        self.fail_reason = fail_reason
 
 
 class _Transfer:
@@ -126,6 +160,10 @@ class Link:
         self._inflight: list[_Transfer] = []
         self._listeners: list[Callable[["Link", bool], None]] = []
         self._loss_rng = make_rng(network.seed, f"loss:{name}")
+        #: Optional chaos hook: an object with
+        #: ``plan(link, delivery) -> list[Delivery]`` consulted on every
+        #: send (see :class:`repro.chaos.FaultyLink`).
+        self.fault_injector: Optional[Any] = None
         self._watch_transitions()
 
     # -- connectivity ---------------------------------------------------
@@ -152,15 +190,26 @@ class Link:
             listener(self, up)
         self._watch_transitions()
 
-    def _fail_inflight(self, reason: str) -> None:
+    def _fail_inflight(self, reason: str) -> int:
         transfers, self._inflight = self._inflight, []
+        failed = 0
         for transfer in transfers:
             if transfer.done:
                 continue
             transfer.done = True
             transfer.deliver_event.cancel()
             self.transfers_failed += 1
+            failed += 1
             transfer.fail(reason)
+        return failed
+
+    def fail_inflight(self, reason: str) -> int:
+        """Fail every in-flight transfer (e.g. the peer process crashed).
+
+        Returns the number of transfers failed.  Each sender's failure
+        callback runs immediately with ``reason``.
+        """
+        return self._fail_inflight(reason)
 
     # -- transmission ---------------------------------------------------
 
@@ -214,6 +263,42 @@ class Link:
         lost = self.spec.loss_rate > 0 and self._loss_rng.random() < self.spec.loss_rate
 
         source: Address = (sender.name, src_port)
+
+        planned = Delivery(arrival, payload, "packet loss" if lost else None)
+        if self.fault_injector is None:
+            deliveries = [planned]
+        else:
+            # The injector sees the link's own loss outcome and may
+            # rewrite the plan: drop, duplicate, delay, corrupt.
+            deliveries = self.fault_injector.plan(self, planned) or [planned]
+
+        # A send() has one caller-visible outcome; injected duplicates
+        # must not fire the failure callback more than once.
+        reported = {"failed": False}
+
+        def fail_once(reason: str) -> None:
+            if reported["failed"]:
+                return
+            reported["failed"] = True
+            fail(reason)
+
+        for index, delivery in enumerate(deliveries):
+            # Only the first copy is charged for wire bytes: injected
+            # duplicates model network-level replays, not extra sends.
+            self._schedule_delivery(
+                receiver, port, source, delivery, fail_once, charge=(index == 0)
+            )
+        return arrival
+
+    def _schedule_delivery(
+        self,
+        receiver: Host,
+        port: int,
+        source: Address,
+        delivery: Delivery,
+        fail: Callable[[str], None],
+        charge: bool,
+    ) -> None:
         transfer = _Transfer(deliver_event=None, fail=fail)
 
         def complete() -> None:
@@ -222,16 +307,16 @@ class Link:
             transfer.done = True
             if transfer in self._inflight:
                 self._inflight.remove(transfer)
-            if lost:
+            if delivery.fail_reason is not None:
                 self.transfers_failed += 1
-                fail("packet loss")
+                fail(delivery.fail_reason)
                 return
-            self.bytes_carried += self.spec.wire_bytes(len(payload))
-            receiver.deliver(port, payload, source)
+            if charge:
+                self.bytes_carried += self.spec.wire_bytes(len(delivery.payload))
+            receiver.deliver(port, delivery.payload, source)
 
-        transfer.deliver_event = self.sim.schedule_at(arrival, complete)
+        transfer.deliver_event = self.sim.schedule_at(delivery.time, complete)
         self._inflight.append(transfer)
-        return arrival
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.is_up else "down"

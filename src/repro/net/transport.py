@@ -22,7 +22,7 @@ import zlib
 from typing import Any, Callable, Optional
 
 from repro.net.link import LinkSpec
-from repro.net.message import marshal, unmarshal
+from repro.net.message import MarshalError, marshal, seal, unmarshal, unseal
 from repro.net.simnet import Address, Host, Link, LinkDown
 from repro.obs import Observatory
 from repro.obs.trace import TRACE_KEY, parse_context
@@ -103,7 +103,19 @@ class Transport:
         #: setting, so the option can be enabled per host.
         self.compress_threshold = compress_threshold
         self.bytes_saved_by_compression = 0
+        self._m_corrupt = registry.counter(
+            "transport_corrupt_frames_total",
+            "Inbound frames dropped for failing their CRC seal",
+            labelnames=("host",),
+        ).labels(host=host.name)
+        #: Incremented by :meth:`crash`; replies computed by a dead
+        #: incarnation are suppressed when their epoch is stale.
+        self._epoch = 0
         host.bind(RPC_PORT, self._on_rpc_datagram)
+
+    @property
+    def corrupt_frames_detected(self) -> int:
+        return int(self._m_corrupt.value)
 
     @property
     def bytes_sent(self) -> int:
@@ -124,14 +136,19 @@ class Transport:
             squeezed = zlib.compress(raw, level=6)
             if len(squeezed) + 1 < len(raw):
                 self.bytes_saved_by_compression += len(raw) - len(squeezed) - 1
-                return _COMPRESSED + squeezed
-        return _RAW + raw
+                return seal(_COMPRESSED + squeezed)
+        return seal(_RAW + raw)
 
     @staticmethod
     def _decode_payload(payload: bytes) -> Any:
+        payload = unseal(payload)
         marker, body = payload[:1], payload[1:]
         if marker == _COMPRESSED:
-            return unmarshal(zlib.decompress(body))
+            try:
+                raw = zlib.decompress(body)
+            except zlib.error as exc:
+                raise MarshalError(f"corrupt compressed frame: {exc}") from exc
+            return unmarshal(raw)
         return unmarshal(body)
 
     # -- link selection --------------------------------------------------
@@ -158,8 +175,14 @@ class Transport:
     def _make_port_dispatcher(self, port: int) -> Callable[[bytes, Address], None]:
         def dispatch(payload: bytes, source: Address) -> None:
             handler = self._handlers.get(port)
-            if handler is not None:
-                handler(self._decode_payload(payload), source)
+            if handler is None:
+                return
+            try:
+                value = self._decode_payload(payload)
+            except MarshalError:
+                self._m_corrupt.inc()
+                return  # corrupt frame: detected and dropped
+            handler(value, source)
 
         return dispatch
 
@@ -298,12 +321,34 @@ class Transport:
         return outcome["value"]
 
     def _on_rpc_datagram(self, payload: bytes, source: Address) -> None:
-        envelope = self._decode_payload(payload)
+        try:
+            envelope = self._decode_payload(payload)
+        except MarshalError:
+            self._m_corrupt.inc()
+            return  # corrupt frame: detected and dropped, retransmit recovers
+        if not isinstance(envelope, dict):
+            self._m_corrupt.inc()
+            return
         kind = envelope.get("kind")
         if kind == "request":
             self._serve_request(envelope, source)
         elif kind == "reply":
             self._accept_reply(envelope)
+
+    def crash(self) -> None:
+        """Drop per-process transport state for a simulated crash.
+
+        Cancels every pending call's timeout timer (their callbacks
+        belong to the dead incarnation), forgets the calls, and bumps
+        the epoch so replies already computed by handlers of the old
+        incarnation are never transmitted.  Port bindings live on the
+        :class:`Host` and are the crashing process's concern (see
+        ``Host.take_ports``).
+        """
+        for pending in self._pending_calls.values():
+            pending["timer"].cancel()
+        self._pending_calls.clear()
+        self._epoch += 1
 
     def handle_request(self, service: str, body: Any, source: Address) -> tuple[bool, Any]:
         """Dispatch a request to the local service table.
@@ -353,8 +398,11 @@ class Transport:
             "ok": ok,
             "body": reply_body,
         }
+        epoch = self._epoch
 
         def transmit() -> None:
+            if epoch != self._epoch:
+                return  # the incarnation that computed this reply crashed
             try:
                 self.send(src_host, RPC_PORT, reply, trace=trace)
             except LinkDown:

@@ -21,22 +21,37 @@ class Event:
     """Handle for a scheduled callback.
 
     Holding the handle allows cancellation via :meth:`Simulator.cancel`
-    or :meth:`cancel`.  A cancelled event stays in the heap but is
-    skipped when popped.
+    or :meth:`cancel`.  Cancellation removes the event from its
+    simulator's heap immediately, so a drained simulation holds no dead
+    events — ``run()`` after cancellation terminates instead of
+    stepping over corpses (e.g. RPC timeout timers whose reply already
+    arrived).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._discard(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -79,7 +94,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, sim=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -87,6 +102,14 @@ class Simulator:
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
         event.cancel()
+
+    def _discard(self, event: Event) -> None:
+        """Remove a cancelled event from the heap (called by Event.cancel)."""
+        try:
+            self._queue.remove(event)
+        except ValueError:
+            return  # already popped (it is firing right now) or never queued
+        heapq.heapify(self._queue)
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""

@@ -104,6 +104,9 @@ class FileLogBackend:
     def __init__(self, path: str) -> None:
         self.path = path
         self._file = open(path, "ab")
+        # Offset below which data has been fsync'd.  Anything past it
+        # only lives in userspace/OS buffers and dies on crash().
+        self._synced_size = os.path.getsize(path)
 
     def append(self, record: LogRecord) -> None:
         header = _RECORD_HEADER.pack(
@@ -114,24 +117,30 @@ class FileLogBackend:
     def flush(self) -> int:
         self._file.flush()
         os.fsync(self._file.fileno())
+        self._synced_size = os.path.getsize(self.path)
         return 0
 
     def crash(self) -> None:
-        """Simulate losing the OS buffer: drop unflushed bytes.
+        """Simulate losing everything not yet fsync'd.
 
-        We approximate by reopening; data already written via
-        ``flush`` survives, and for tests the torn-record case is
-        produced with :meth:`tear_tail`.
+        Closing the file flushes Python's userspace buffer to the OS,
+        which would silently *persist* unflushed appends — so after
+        closing we truncate back to the last fsync'd offset.  The
+        torn-record case is produced with :meth:`tear_tail`.
         """
         self._file.close()
+        with open(self.path, "ab") as f:
+            f.truncate(self._synced_size)
         self._file = open(self.path, "ab")
 
     def tear_tail(self, drop_bytes: int) -> None:
         """Chop bytes off the end of the file (simulated torn write)."""
         self._file.close()
         size = os.path.getsize(self.path)
+        new_size = max(0, size - drop_bytes)
         with open(self.path, "ab") as f:
-            f.truncate(max(0, size - drop_bytes))
+            f.truncate(new_size)
+        self._synced_size = min(self._synced_size, new_size)
         self._file = open(self.path, "ab")
 
     def records(self) -> list[LogRecord]:
@@ -164,6 +173,7 @@ class FileLogBackend:
                 f.write(header + record.payload)
             f.flush()
             os.fsync(f.fileno())
+        self._synced_size = os.path.getsize(self.path)
         self._file = open(self.path, "ab")
 
     def close(self) -> None:

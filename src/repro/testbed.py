@@ -53,6 +53,19 @@ class Testbed:
     def authority(self) -> str:
         return self.server.authority
 
+    def crash_and_recover_client(self) -> list[str]:
+        """Crash the client process and rebuild it from the stable log.
+
+        Volatile state (scheduler queue, promises, cache, unflushed log
+        tail) dies; the new :class:`AccessManager` replays pending
+        QRPCs from the log.  Returns the replayed request ids; the
+        rebuilt manager replaces ``self.access``.
+        """
+        from repro.chaos.recovery import crash_and_recover_client
+
+        self.access, replayed = crash_and_recover_client(self.access)
+        return replayed
+
 
 def build_testbed(
     link_spec: LinkSpec = ETHERNET_10M,
@@ -72,6 +85,8 @@ def build_testbed(
     seed: int = 0,
     obs: Optional[Observatory] = None,
     trace: bool = False,
+    rpc_timeout_s: float = 600.0,
+    max_attempts: int = 8,
 ) -> Testbed:
     """Build the canonical client/server testbed.
 
@@ -112,9 +127,11 @@ def build_testbed(
         sim,
         client_transport,
         max_inflight=max_inflight,
+        max_attempts=max_attempts,
         fifo_only=fifo_only,
         batch_max=batch_max,
         obs=obs,
+        rpc_timeout=rpc_timeout_s,
     )
 
     relay_host = relay = client_mailbox = server_mailbox = None
@@ -180,6 +197,17 @@ class ClientStack:
     scheduler: NetworkScheduler
     access: AccessManager
 
+    def crash_and_recover(self) -> list[str]:
+        """Crash this client process and rebuild it from the stable log.
+
+        See :func:`repro.chaos.recovery.crash_and_recover_client`; the
+        rebuilt manager replaces ``self.access``.  Returns replayed ids.
+        """
+        from repro.chaos.recovery import crash_and_recover_client
+
+        self.access, replayed = crash_and_recover_client(self.access)
+        return replayed
+
 
 @dataclass
 class MultiClientTestbed:
@@ -210,6 +238,7 @@ def build_multi_client_testbed(
     seed: int = 0,
     obs: Optional[Observatory] = None,
     trace: bool = False,
+    rpc_timeout_s: float = 600.0,
 ) -> MultiClientTestbed:
     """Build N clients, each with its own link (and policy) to one server.
 
@@ -238,7 +267,7 @@ def build_multi_client_testbed(
         policy = policies[index] if policies is not None else None
         link = network.connect(host, server_host, link_spec, policy, medium=medium)
         transport = Transport(sim, host, obs=obs)
-        scheduler = NetworkScheduler(sim, transport, obs=obs)
+        scheduler = NetworkScheduler(sim, transport, obs=obs, rpc_timeout=rpc_timeout_s)
         access = AccessManager(
             sim,
             scheduler,

@@ -1,20 +1,26 @@
 """Chaos convergence: random clients, random connectivity, random ops.
 
 The strongest invariant the toolkit offers: *whatever* interleaving of
-disconnections, queued updates, retransmissions, and conflicts occurs,
-once connectivity stabilizes and the queues drain,
+disconnections, link faults, a server outage, queued updates,
+retransmissions, and conflicts occurs, once connectivity stabilizes
+and the queues drain,
 
 1. every client's operation log is empty (all QRPCs answered),
 2. every cached copy is either committed at the server's current
    version or still tentative *only because* a manual conflict was
    reported to that client,
-3. the server's version numbers are consistent with its history, and
-4. no accepted update was silently lost: every event id that some
-   replica successfully committed is present at the server (calendar),
-   and every appended folder entry survives (mail).
+3. no accepted update was silently lost or applied twice: every
+   appended folder entry is present at the server exactly once, and
+   every calendar event a conflict-free replica committed is present,
+4. corrupted frames were detected by the CRC seal, never silently
+   unmarshalled.
 
-Scenarios are seeded and deterministic, so any failure here is exactly
-reproducible.
+This suite is a consumer of :mod:`repro.chaos`: connectivity comes
+from :func:`flaky_policies`, the server outage and link-level
+drop/dup/corrupt/reorder come from a :class:`FaultPlan` scheduled by
+the :class:`ChaosController`, and the post-run judgement is the shared
+invariant checkers.  Scenarios are seeded and deterministic, so any
+failure here is exactly reproducible.
 """
 
 from hypothesis import given, settings
@@ -22,27 +28,49 @@ from hypothesis import strategies as st
 
 from repro.apps.calendar import CalendarReplica, install_calendar
 from repro.apps.mail import MailServerApp, RoverMailReader
-from repro.net.link import WAVELAN_2M, IntervalTrace
+from repro.chaos import (
+    ChaosController,
+    FaultPlan,
+    LinkFaultSpec,
+    LinkFaultWindow,
+    ServerOutage,
+    flaky_policies,
+    invariants,
+)
+from repro.net.link import WAVELAN_2M
 from repro.sim import make_rng
 from repro.testbed import build_multi_client_testbed
-from repro.workloads import CalendarOp, generate_connectivity_trace
+from repro.workloads import CalendarOp
+
+HORIZON_S = 3_000.0
+
+
+def convergence_plan(seed: int) -> FaultPlan:
+    """Low-rate link faults on every link plus one mid-run server outage."""
+    return FaultPlan(
+        seed=seed,
+        server_outages=(ServerOutage(at=HORIZON_S * 0.5, down_for=60.0),),
+        link_windows=(
+            LinkFaultWindow(
+                LinkFaultSpec(drop=0.03, duplicate=0.03, corrupt=0.02, reorder=0.03)
+            ),
+        ),
+    )
 
 
 def run_chaos(seed: int, n_clients: int = 3, n_ops: int = 8) -> dict:
     rng = make_rng(seed, "chaos")
-    horizon = 3_000.0
-    policies = []
-    for index in range(n_clients):
-        trace = generate_connectivity_trace(
-            seed=seed * 101 + index, horizon_s=horizon,
-            mean_up_s=90.0, mean_down_s=180.0,
-        )
-        trace.append((horizon + 500.0, 1e9))  # final stable window
-        policies.append(IntervalTrace(trace))
-
+    horizon = HORIZON_S
     bed = build_multi_client_testbed(
-        n_clients, link_spec=WAVELAN_2M, policies=policies, seed=seed
+        n_clients,
+        link_spec=WAVELAN_2M,
+        policies=flaky_policies(seed, n_clients, horizon),
+        seed=seed,
+        rpc_timeout_s=120.0,
     )
+    controller = ChaosController(bed.sim, obs=bed.obs, seed=seed)
+    injectors = controller.schedule(convergence_plan(seed), bed)
+
     cal_urn, __ = install_calendar(bed.server)
     app = MailServerApp(bed.server)
     folder_urn = app.create_folder("shared")
@@ -97,54 +125,58 @@ def run_chaos(seed: int, n_clients: int = 3, n_ops: int = 8) -> dict:
 
     bed.sim.run(until=horizon + 4_000.0)
 
-    # ---- invariants ---------------------------------------------------
+    # ---- invariants: the shared chaos checkers ------------------------
+    accesses = [client.access for client in bed.clients]
+    conflicted = frozenset(
+        bed.clients[index].host.name
+        for index, replica in enumerate(replicas)
+        if replica.conflicts
+    )
+    violations = (
+        invariants.check_logs_drained(accesses)
+        + invariants.check_no_orphan_tentative(accesses, conflicted=conflicted)
+        # Mail is append-merged (conflict-free), so every sent entry must
+        # land at the server — and exactly once, even though the outage
+        # wiped the server's applied-reply cache mid-run.
+        + invariants.check_acked_updates_durable(
+            bed.server, str(folder_urn), sent_mail
+        )
+        + invariants.check_cache_coherent(bed.server, accesses)
+        + invariants.check_corruption_accounted(
+            injectors,
+            [bed.server_transport] + [client.transport for client in bed.clients],
+        )
+    )
+
+    # Calendar events of conflict-free clients all present (app-level).
     server_events = bed.server.get_object(str(cal_urn)).data["events"]
-    server_mail = {
-        e["id"] for e in bed.server.get_object(str(folder_urn)).data["index"]
-    }
-    conflicted_clients = set()
-    result = {
-        "ops": op_counter["n"],
-        "pending": [],
-        "orphan_tentative": [],
-        "lost_mail": [],
-        "lost_events": [],
-    }
-    for index, client in enumerate(bed.clients):
-        # 1. Logs drained.
-        if client.access.pending_count() != 0:
-            result["pending"].append(index)
-        # 2. Tentative only with a reported conflict.
-        replica = replicas[index]
-        if replica.conflicts:
-            conflicted_clients.add(index)
-        for urn in client.access.cache.tentative_urns():
-            if not replica.conflicts:
-                result["orphan_tentative"].append((index, urn))
-    # 4a. Mail never lost (append-merge is conflict-free).
-    for mail_id in sent_mail:
-        if mail_id not in server_mail:
-            result["lost_mail"].append(mail_id)
-    # 4b. Calendar events of conflict-free clients all present.
     for index, event_ids in added_events.items():
-        if index in conflicted_clients:
+        if bed.clients[index].host.name in conflicted:
             continue
         for event_id in event_ids:
             if event_id not in server_events:
-                result["lost_events"].append(event_id)
-    return result
+                violations.append(f"calendar event {event_id} lost at server")
+
+    return {
+        "ops": op_counter["n"],
+        "violations": violations,
+        "server_crashes": controller.server_crashes,
+        "faults_injected": sum(
+            count for injector in injectors for count in injector.injected.values()
+        ),
+    }
 
 
 @settings(max_examples=8, deadline=None)
 @given(seed=st.integers(0, 10_000))
 def test_chaos_convergence(seed):
     result = run_chaos(seed)
-    assert result["pending"] == [], f"logs not drained: {result}"
-    assert result["orphan_tentative"] == [], f"tentative without conflict: {result}"
-    assert result["lost_mail"] == [], f"mail lost: {result}"
-    assert result["lost_events"] == [], f"events lost: {result}"
+    assert result["violations"] == [], result
+    assert result["server_crashes"] == 1
 
 
 def test_chaos_fixed_seed_exercises_ops():
     result = run_chaos(seed=1234)
     assert result["ops"] > 0
+    assert result["faults_injected"] > 0
+    assert result["violations"] == []

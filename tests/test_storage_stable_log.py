@@ -129,6 +129,49 @@ class TestFileBackend:
         assert [r.payload for r in recovered.records()] == [b"good"]
         recovered.close()
 
+    def test_crash_discards_unflushed_tail(self, tmp_path):
+        # Regression: crash() used to close() the file, which flushes
+        # the userspace buffer — silently persisting appends that were
+        # never fsynced.  The backend must truncate back to the last
+        # synced offset instead.
+        path = str(tmp_path / "log.bin")
+        log = StableLog(FileLogBackend(path))
+        log.append(b"durable")
+        log.flush()
+        log.append(b"lost-one")
+        log.append(b"lost-two")
+        log.crash()
+        assert [r.payload for r in log.records()] == [b"durable"]
+        # An independent reopen sees the same truth on disk.
+        fresh = StableLog(FileLogBackend(path))
+        assert [r.payload for r in fresh.records()] == [b"durable"]
+        fresh.close()
+        log.close()
+
+    def test_crash_with_nothing_flushed_leaves_empty_log(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = StableLog(FileLogBackend(path))
+        log.append(b"never-synced")
+        log.crash()
+        assert log.records() == []
+        log.close()
+
+    def test_append_and_flush_work_after_crash(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = StableLog(FileLogBackend(path))
+        log.append(b"kept")
+        log.flush()
+        log.append(b"dropped")
+        log.crash()
+        # The in-memory counter stays monotonic — the dropped record's
+        # sequence number is never reused.
+        assert log.append(b"after") == 2
+        log.flush()
+        assert [r.payload for r in log.records()] == [b"kept", b"after"]
+        log.crash()  # nothing unflushed now: a no-op
+        assert [r.payload for r in log.records()] == [b"kept", b"after"]
+        log.close()
+
     def test_truncate_through_rewrites_file(self, tmp_path):
         path = str(tmp_path / "log.bin")
         log = StableLog(FileLogBackend(path))
