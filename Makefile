@@ -1,7 +1,7 @@
 PYTHON ?= python
 CHAOS_SEED ?= 0
 
-.PHONY: install test lint bench tables chaos demo examples clean
+.PHONY: install test lint bench tables chaos perf demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -23,6 +23,10 @@ chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest -q \
 		tests/test_chaos_faults.py tests/test_chaos_convergence.py \
 		benchmarks/test_e13_chaos.py
+
+perf:
+	$(PYTHON) -m pytest -q benchmarks/test_e14_wire.py benchmarks/test_micro_primitives.py --benchmark-only
+	$(PYTHON) scripts/check_e14_regression.py
 
 demo:
 	$(PYTHON) -m repro

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""E14 regression gate: bytes-on-wire must not creep back up.
+
+Re-runs the E14 driver and compares each ``(link, config)`` row's
+bytes-on-wire against the committed ``BENCH_E14.json`` baseline.  The
+driver is deterministic (virtual time, seeded workload), so any drift
+is a real behaviour change; a regression beyond the tolerance fails.
+
+Usage:
+    PYTHONPATH=src python scripts/check_e14_regression.py
+    PYTHONPATH=src python scripts/check_e14_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+TOLERANCE = 0.10  # +10% bytes-on-wire per row fails the gate
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_E14.json")
+
+
+def current_rows() -> list[dict]:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.bench.experiments import run_e14_wire
+
+    rows = run_e14_wire()
+    # The baseline pins what the gate compares, nothing more.
+    return [
+        {
+            "link": r["link"],
+            "config": r["config"],
+            "bytes_wire": r["bytes_wire"],
+            "drain_s": r["drain_s"],
+            "ops_compacted": r["ops_compacted"],
+            "violations": r["violations"],
+        }
+        for r in rows
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite BENCH_E14.json from the current run",
+    )
+    args = parser.parse_args()
+
+    rows = current_rows()
+    if args.update:
+        with open(BASELINE_PATH, "w") as f:
+            json.dump(rows, f, indent=2)
+            f.write("\n")
+        print(f"wrote {len(rows)} baseline rows to {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(f"missing baseline {BASELINE_PATH}; run with --update first",
+              file=sys.stderr)
+        return 2
+    with open(BASELINE_PATH) as f:
+        baseline = {(r["link"], r["config"]): r for r in json.load(f)}
+
+    failures = []
+    for row in rows:
+        key = (row["link"], row["config"])
+        base = baseline.get(key)
+        label = f"{key[0]}/{key[1]}"
+        if base is None:
+            failures.append(f"{label}: no baseline row (run --update)")
+            continue
+        if row["violations"]:
+            failures.append(f"{label}: {row['violations']} invariant violation(s)")
+        allowed = base["bytes_wire"] * (1.0 + TOLERANCE)
+        status = "ok"
+        if row["bytes_wire"] > allowed:
+            status = "REGRESSION"
+            failures.append(
+                f"{label}: bytes-on-wire {row['bytes_wire']} exceeds "
+                f"baseline {base['bytes_wire']} by more than "
+                f"{TOLERANCE:.0%} (allowed {allowed:.0f})"
+            )
+        print(
+            f"{label:32s} bytes {row['bytes_wire']:>8d} "
+            f"(baseline {base['bytes_wire']:>8d})  {status}"
+        )
+
+    missing = set(baseline) - {(r["link"], r["config"]) for r in rows}
+    for key in sorted(missing):
+        failures.append(f"{key[0]}/{key[1]}: baseline row no longer produced")
+
+    if failures:
+        print("\nE14 regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nE14 regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

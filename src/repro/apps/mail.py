@@ -30,6 +30,8 @@ from repro.core.server import RoverServer
 from repro.core.session import Session
 from repro.net.scheduler import Priority
 from repro.net.transport import RpcError, Transport
+from repro.perf.compact import AppendMerge as QueueAppendMerge
+from repro.perf.compact import Compactor, InvokeAbsorb
 from repro.workloads.generators import MailCorpus
 
 FOLDER_TYPE = "mail-folder"
@@ -46,6 +48,10 @@ def append_entry(state, entry):
     state["index"] = state["index"] + [entry]
     return len(state["index"])
 
+def append_entries(state, entries):
+    state["index"] = state["index"] + list(entries)
+    return len(state["index"])
+
 def unread_ids(state, read_ids):
     result = []
     for entry in state["index"]:
@@ -59,6 +65,7 @@ _FOLDER_INTERFACE = RDOInterface(
         MethodSpec("list_index", doc="summaries of all messages"),
         MethodSpec("count", doc="number of messages"),
         MethodSpec("append_entry", mutates=True, doc="add an index entry"),
+        MethodSpec("append_entries", mutates=True, doc="add a batch of index entries"),
         MethodSpec("unread_ids", doc="ids not in the given read set"),
     ]
 )
@@ -133,6 +140,20 @@ class MessageMerge:
 def install_mail_resolvers(registry: ResolverRegistry) -> None:
     registry.register(FOLDER_TYPE, FolderMerge())
     registry.register(MESSAGE_TYPE, MessageMerge())
+
+
+def register_mail_compaction(compactor: Compactor) -> Compactor:
+    """Mail's queue-time compaction rules.
+
+    * ``mark_read``/``mark_deleted`` are idempotent flag flips: a later
+      queued call absorbs an earlier one on the same message.
+    * ``append_entry`` calls on the same folder merge into one
+      ``append_entries`` batch — the outbox drains in one QRPC.
+    """
+    compactor.add_pair_rule(InvokeAbsorb("mark_read"))
+    compactor.add_pair_rule(InvokeAbsorb("mark_deleted"))
+    compactor.add_pair_rule(QueueAppendMerge("append_entry", "append_entries"))
+    return compactor
 
 
 class MailServerApp:

@@ -212,6 +212,18 @@ def _e13() -> str:
     )
 
 
+def _e14() -> str:
+    rows = E.run_e14_wire()
+    return format_table(
+        "E14 - bytes-on-wire: log compaction + delta shipping",
+        ["link", "config", "queued", "bytes", "drain", "compacted",
+         "delta saved", "marshal hits", "violations"],
+        [[r["link"], r["config"], r["queued_at_reconnect"], r["bytes_wire"],
+          fs(r["drain_s"]), r["ops_compacted"], r["delta_bytes_saved"],
+          r["marshal_cache_hits"], r["violations"]] for r in rows],
+    )
+
+
 def _f1() -> str:
     rows = E.run_f1_size_sweep()
     return format_table(
@@ -257,6 +269,7 @@ EXPERIMENTS = {
     "e11": _e11,
     "e12": _e12,
     "e13": _e13,
+    "e14": _e14,
     "f1": _f1,
     "f2": _f2,
     "f3": _f3,
@@ -275,6 +288,7 @@ RAW = {
     "e10": lambda: E.run_e10_compression(),
     "e11": lambda: E.run_e11_batching(),
     "e13": lambda: E.run_e13_chaos(),
+    "e14": lambda: E.run_e14_wire(),
     "f1": lambda: E.run_f1_size_sweep(),
     "f2": lambda: E.run_f2_availability(),
     "f3": lambda: E.run_f3_shared_cell(),

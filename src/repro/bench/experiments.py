@@ -1094,3 +1094,115 @@ def run_e13_chaos(seed: "int | None" = None) -> list[dict]:
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# E14 — bytes-on-wire: log compaction + delta shipping on slow links
+# ---------------------------------------------------------------------------
+
+
+def _e14_one(
+    link_spec: LinkSpec,
+    compaction: bool,
+    delta_shipping: bool,
+    seed: int,
+) -> dict:
+    """One E14 cell: the disconnected-mail-session workload on one link.
+
+    Connected warm-up imports the inbox and every body; a long
+    disconnection accumulates flag flips (mark read, then delete — the
+    classic triage pass) and outbox appends; reconnection drains the
+    queue over the slow link.  Bytes-on-wire counts everything after
+    the warm-up, so the measured traffic is exactly the disconnected
+    session's eventual cost.
+    """
+    from repro.chaos.invariants import (
+        check_cache_coherent,
+        check_logs_drained,
+        check_no_orphan_tentative,
+    )
+
+    reconnect_at = 1000.0
+    bed = build_testbed(
+        link_spec=link_spec,
+        policy=IntervalTrace([(0.0, 300.0), (reconnect_at, 1e9)]),
+        compaction=compaction,
+        delta_shipping=delta_shipping,
+    )
+    corpus = generate_mail_corpus(seed=seed, n_folders=1, messages_per_folder=10)
+    app = MailServerApp(bed.server, corpus)
+    app.create_folder("outbox")
+    reader = RoverMailReader(bed.access, bed.authority)
+    folder = sorted(corpus.folders)[0]
+
+    # -- connected: warm the cache -------------------------------------
+    reader.prefetch_folder(folder)
+    reader.open_folder("outbox")
+    bed.sim.run(until=290.0)
+    warm_bytes = bed.link.bytes_carried
+
+    # -- disconnected: triage the folder, send replies -----------------
+    bed.sim.run(until=400.0)
+    index = reader.folder_index(folder)
+    for entry in index:
+        urn = reader.message_urn(folder, entry["id"])
+        bed.access.invoke(urn, "mark_read", session=reader.session)
+    for entry in index:
+        urn = reader.message_urn(folder, entry["id"])
+        bed.access.invoke(urn, "mark_deleted", session=reader.session)
+    for i in range(6):
+        reader.send_message(
+            "outbox",
+            {"id": f"reply-{i}", "from": "me", "subject": f"re {i}", "body": "x" * 200},
+        )
+    # Re-import the folder while disconnected: queued behind the
+    # exports, served as a delta once the link returns (warm cache).
+    reader.open_folder(folder, priority=Priority.BACKGROUND)
+
+    # -- reconnect: drain ----------------------------------------------
+    bed.sim.run(until=reconnect_at - 1.0)
+    queued = bed.access.pending_count()
+    drained = bed.sim.run_until(lambda: bed.access.pending_count() == 0, timeout=1e8)
+    drain_s = bed.sim.now - reconnect_at
+    bed.sim.run()
+
+    def total(name: str) -> int:
+        metric = bed.obs.registry.get(name)
+        if metric is None:
+            return 0
+        return int(sum(child.value for __, child in metric.children()))
+
+    violations = list(check_logs_drained([bed.access]))
+    violations += check_cache_coherent(bed.server, [bed.access])
+    violations += check_no_orphan_tentative([bed.access])
+    if not drained:
+        violations.append("drain never completed")
+    return {
+        "link": link_spec.name,
+        "config": (
+            "compaction+delta"
+            if compaction and delta_shipping
+            else "compaction" if compaction else "clean"
+        ),
+        "queued_at_reconnect": queued,
+        "bytes_wire": bed.link.bytes_carried - warm_bytes,
+        "drain_s": round(drain_s, 3),
+        "ops_compacted": bed.access.log.ops_compacted,
+        "delta_bytes_saved": total("ship_delta_bytes_saved_total"),
+        "marshal_cache_hits": total("marshal_cache_hits_total"),
+        "violations": len(violations),
+        "violation_detail": violations,
+    }
+
+
+def run_e14_wire(
+    links: tuple[LinkSpec, ...] = (CSLIP_14_4, CSLIP_2_4),
+    seed: int = 7,
+) -> list[dict]:
+    """Bytes-on-wire and drain time for clean vs compaction vs
+    compaction+delta on the paper's serial links."""
+    rows = []
+    for link_spec in links:
+        for compaction, delta in ((False, False), (True, False), (True, True)):
+            rows.append(_e14_one(link_spec, compaction, delta, seed=seed))
+    return rows

@@ -82,6 +82,8 @@ def crash_and_recover_client(access: "AccessManager") -> tuple["AccessManager", 
         group_commit_s=access.group_commit_s,
         obs=access.obs,
         incarnation=access.incarnation + 1,
+        compactor=access.compactor,
+        delta_shipping=access.delta_shipping,
     )
     reborn.watch_new_links()
     replayed = reborn.recover()

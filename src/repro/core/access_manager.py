@@ -38,10 +38,13 @@ from repro.core.promise import Promise
 from repro.core.qrpc import Operation, QRPCRequest
 from repro.core.rdo import RDO, ExecutionCostModel
 from repro.core.session import Session, SessionRegistry
+from repro.net.message import Premarshalled, marshal, unmarshal
 from repro.net.scheduler import NetworkScheduler, Priority
 from repro.net.simnet import Host
 from repro.obs import Observatory
 from repro.obs.trace import TRACE_KEY, Span
+from repro.perf.compact import CallableRewrite, Compactor
+from repro.perf.delta import DeltaError, apply_delta, diff_value, worth_shipping
 from repro.sim import Simulator
 
 
@@ -66,6 +69,8 @@ class AccessManager:
         group_commit_s: float = 0.0,
         obs: Optional[Observatory] = None,
         incarnation: int = 0,
+        compactor: Optional[Compactor] = None,
+        delta_shipping: bool = False,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
@@ -134,6 +139,39 @@ class AccessManager:
         #: the queued message's priority (the paper's outstanding-
         #: requests list).
         self._imports: dict[str, dict] = {}
+        #: request_id -> scheduler message for every outstanding QRPC;
+        #: compaction uses it to cancel queued messages precisely and
+        #: to tell dispatched (ineligible) requests from queued ones.
+        self._messages: dict[str, Any] = {}
+        #: surviving request_id -> requests it absorbed; their
+        #: observers are resolved with the survivor's outcome.
+        self._absorbed: dict[str, list[QRPCRequest]] = {}
+        #: request ids the server answered "need-full" for: their
+        #: resend must carry full data, never a delta.
+        self._no_delta: set[str] = set()
+        #: Pending requests inherited from a previous incarnation's
+        #: log.  The dead process may have dispatched them, so the
+        #: server may hold applied replies — compaction and delta
+        #: substitution must leave them untouched.
+        self._recovered_ids: set[str] = {
+            request.request_id for request in self.log.pending()
+        }
+        #: Shipping optimizations (repro.perf); both default off so the
+        #: baseline QRPC path is byte-for-byte the paper's.
+        self.compactor = compactor
+        self.delta_shipping = delta_shipping
+        self._engine: Optional[Compactor] = None
+        if compactor is not None:
+            # Private engine = the app's rules + the toolkit's own
+            # export-refresh fold.  Building a copy (rather than
+            # mutating the app's compactor) keeps the instance-bound
+            # rule from leaking across crash-recovery incarnations.
+            engine = Compactor()
+            engine.pair_rules = list(compactor.pair_rules)
+            engine.rewrite_rules = list(compactor.rewrite_rules)
+            engine.add_rewrite_rule(CallableRewrite(self._refresh_export))
+            self._engine = engine
+            self.scheduler.add_drain_hook(self.compact_now)
         self._watched_links: set[str] = set()
         self._watch_connectivity()
 
@@ -213,10 +251,17 @@ class AccessManager:
                 pending["request"].priority = priority
             return promise
 
+        args: dict[str, Any] = {}
+        if self.delta_shipping:
+            held = self.cache.peek(urn_str)
+            if held is not None and not held.tentative and held.base_version > 0:
+                # Warm re-import: tell the server which version we hold
+                # so it can answer with a delta against it.
+                args["have_version"] = held.base_version
         request = self._new_request(
             Operation.IMPORT,
             urn_str,
-            args={},
+            args=args,
             session=session,
             priority=priority,
         )
@@ -293,6 +338,10 @@ class AccessManager:
         if state["inflight"]:
             state["dirty"] = True
             state["queued"].append(promise)
+            # Queue-time compaction: if the in-flight round never left
+            # the scheduler (disconnected), fold this follow-up into it
+            # right now instead of paying a second round later.
+            self.compact_now()
             return promise
         state["current"].append(promise)
         self._start_export_round(urn_str, session, priority)
@@ -581,6 +630,15 @@ class AccessManager:
         """
         resubmitted = []
         for request in self.log.pending():
+            if request.operation is Operation.IMPORT and "have_version" in request.args:
+                # The cache died with the old process, so the delta
+                # base the logged request refers to is gone: re-import
+                # full rather than bouncing off a guaranteed need-full.
+                request.args = {
+                    key: value
+                    for key, value in request.args.items()
+                    if key != "have_version"
+                }
             self._submit(request, session=None)
             resubmitted.append(request.request_id)
         return resubmitted
@@ -642,6 +700,7 @@ class AccessManager:
                 self._group_flush_timer = self.sim.schedule(
                     self.group_commit_s, self._group_flush
                 )
+            self.compact_now()
             return
         flush_time = self.log.append(request)
         self.flush_seconds_total += flush_time
@@ -652,6 +711,7 @@ class AccessManager:
         self._flush_busy_until = durable_at
         self._trace_log_append(request, durable_at)
         self.sim.schedule(durable_at - self.sim.now, self._submit, request, session)
+        self.compact_now()
 
     def _trace_log_append(self, request: QRPCRequest, durable_at: float) -> None:
         if self.tracer.enabled and request.trace_id:
@@ -676,10 +736,13 @@ class AccessManager:
             self._trace_log_append(request, durable_at)
             self.sim.schedule(durable_at - self.sim.now, self._submit, request, session)
 
-    def _submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
-        if self._crashed:
-            return  # a dead incarnation's log flush completing
-        dst = self._server_for(request.urn)
+    def _wire_body(self, request: QRPCRequest) -> Premarshalled:
+        """Build the on-wire body for a request, marshalled exactly once.
+
+        The log record keeps the request's *full* args for durability;
+        delta substitution happens here, at wire time, so a crash
+        replay never depends on a delta base that died with the cache.
+        """
         body = dict(request.args)
         body["urn"] = request.urn
         body["request_id"] = request.request_id
@@ -689,16 +752,74 @@ class AccessManager:
             body["auth"] = self.auth_token
         if request.operation is Operation.SHIP:
             body.pop("urn", None)
+        if (
+            self.delta_shipping
+            and request.operation is Operation.EXPORT
+            and request.request_id not in self._no_delta
+            and request.request_id not in self._recovered_ids
+        ):
+            self._maybe_delta_export(request, body)
+        ackw = self._ack_watermark()
+        if ackw is not None:
+            body["ackw"] = ackw
         if request.trace_id:
             body[TRACE_KEY] = [request.trace_id, request.span_id]
+        return Premarshalled(body)
+
+    def _maybe_delta_export(self, request: QRPCRequest, body: dict) -> None:
+        """Swap full export data for a structural delta when smaller."""
+        entry = self.cache.peek(request.urn)
+        base_version = int(body.get("base_version", 0))
+        if (
+            entry is None
+            or base_version <= 0
+            or entry.base_version != base_version
+            or "data" not in body
+        ):
+            return
+        delta = diff_value(unmarshal(entry.base_raw), body["data"])
+        # Charge the delta a small margin so break-even cases keep the
+        # simpler full ship.
+        if worth_shipping(delta, body["data"], margin=8):
+            del body["data"]
+            body["delta"] = delta
+
+    def _ack_watermark(self) -> Optional[list]:
+        """``[id_prefix, counter]``: all lower counters are settled.
+
+        Piggybacked on every wire body so the server can prune its
+        at-most-once applied-reply cache exactly (the LRU cap is only
+        the backstop for clients that never speak again).
+        """
+        prefix = make_request_id(
+            self.host.name, 0, self.incarnation
+        ).rpartition("/")[0]
+        floor = self._request_counter
+        for pending in self.log.pending():
+            head, sep, tail = pending.request_id.rpartition("/")
+            if not sep or head != prefix:
+                continue
+            try:
+                floor = min(floor, int(tail))
+            except ValueError:
+                continue
+        return [prefix, floor]
+
+    def _submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
+        if self._crashed:
+            return  # a dead incarnation's log flush completing
+        if self.log.get(request.request_id) is None:
+            return  # compacted away between the log flush and now
+        dst = self._server_for(request.urn)
         message = self.scheduler.submit(
             dst,
             request.service,
-            body,
+            self._wire_body(request),
             priority=request.priority,
             on_reply=lambda reply: self._on_reply(request, session, reply),
             on_failed=lambda reason: self._on_failed(request, reason),
         )
+        self._messages[request.request_id] = message
         if request.operation is Operation.IMPORT:
             pending = self._imports.get(request.urn)
             if pending is not None and pending["request"] is request:
@@ -713,8 +834,19 @@ class AccessManager:
     def _on_reply(self, request: QRPCRequest, session: Optional[Session], reply: Any) -> None:
         if self.log.get(request.request_id) is None:
             return  # duplicate response (at-most-once application)
+        if isinstance(reply, dict) and reply.get("status") == "need-full":
+            # The server lost our delta base from its history.  The log
+            # record still holds the full data, so resend the same
+            # request with the delta path disabled.  Deliberately no
+            # acknowledge: the server recorded nothing for this id.
+            self._no_delta.add(request.request_id)
+            self._messages.pop(request.request_id, None)
+            self.sim.schedule(0.0, self._submit, request, session)
+            return
         flush_time = self.log.acknowledge(request.request_id)
         self.flush_seconds_total += flush_time
+        self._messages.pop(request.request_id, None)
+        self._no_delta.discard(request.request_id)
         self._finish_trace(request, status="ok")
         self._m_qrpc_latency.labels(
             host=self.host.name, op=str(request.operation)
@@ -726,6 +858,12 @@ class AccessManager:
             operation=str(request.operation),
             status=reply.get("status") if isinstance(reply, dict) else None,
         )
+        self._dispatch_reply(request, session, reply if isinstance(reply, dict) else {})
+        self._resolve_absorbed(request, session, reply if isinstance(reply, dict) else {})
+
+    def _dispatch_reply(
+        self, request: QRPCRequest, session: Optional[Session], reply: dict
+    ) -> None:
         handler = {
             Operation.IMPORT: self._apply_import,
             Operation.EXPORT: self._apply_export,
@@ -736,7 +874,31 @@ class AccessManager:
             Operation.LOCK: self._apply_lock,
             Operation.UNLOCK: self._apply_lock,
         }[request.operation]
-        handler(request, session, reply if isinstance(reply, dict) else {})
+        handler(request, session, reply)
+
+    def _resolve_absorbed(
+        self, request: QRPCRequest, session: Optional[Session], reply: dict
+    ) -> None:
+        """Resolve observers of requests this one absorbed at compaction.
+
+        The absorbed operation's effect is contained in the survivor's,
+        so its observers see the survivor's outcome.  Recurses: the
+        absorbed request may itself have absorbed earlier ones.
+        """
+        for absorbed in self._absorbed.pop(request.request_id, []):
+            self._finish_trace(absorbed, status="ok")
+            self.notifications.publish(
+                EventType.RESPONSE_ARRIVED,
+                self.sim.now,
+                request_id=absorbed.request_id,
+                operation=str(absorbed.operation),
+                status=reply.get("status"),
+            )
+            # The absorbed request's session object died with its
+            # submit closure; session bookkeeping falls to the
+            # survivor's own reply.
+            self._dispatch_reply(absorbed, None, reply)
+            self._resolve_absorbed(absorbed, None, reply)
 
     def _finish_trace(self, request: QRPCRequest, status: str) -> None:
         root = self._root_spans.pop(request.request_id, None)
@@ -760,12 +922,32 @@ class AccessManager:
             host=self.host.name, op=str(request.operation)
         ).inc()
         self.log.mark_failed(request.request_id)
+        self._messages.pop(request.request_id, None)
+        self._no_delta.discard(request.request_id)
         self.notifications.publish(
             EventType.REQUEST_FAILED,
             self.sim.now,
             request_id=request.request_id,
             reason=reason,
         )
+        self._reject_observers(request, reason)
+        for absorbed in self._absorbed.pop(request.request_id, []):
+            self._fail_absorbed(absorbed, reason)
+
+    def _fail_absorbed(self, request: QRPCRequest, reason: str) -> None:
+        """The surviving request failed terminally: so did the absorbed."""
+        self._finish_trace(request, status="failed")
+        self.notifications.publish(
+            EventType.REQUEST_FAILED,
+            self.sim.now,
+            request_id=request.request_id,
+            reason=reason,
+        )
+        self._reject_observers(request, reason)
+        for absorbed in self._absorbed.pop(request.request_id, []):
+            self._fail_absorbed(absorbed, reason)
+
+    def _reject_observers(self, request: QRPCRequest, reason: str) -> None:
         if request.operation is Operation.EXPORT:
             self._finish_export_round(request.urn, {}, failed=reason)
             return
@@ -789,6 +971,19 @@ class AccessManager:
 
     def _apply_import(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
         waiters = self._take_import_waiters(request)
+        if reply.get("status") == "ok-delta":
+            rebuilt = self._rebuild_import_delta(request, reply)
+            if rebuilt is None:
+                # Our copy of the base is gone (evicted/replaced since
+                # the request was queued): re-import full on behalf of
+                # every waiter.
+                retry = self._new_request(
+                    Operation.IMPORT, request.urn, {}, session, request.priority
+                )
+                self._imports[request.urn] = {"request": retry, "waiters": waiters}
+                self._log_and_submit(retry, session)
+                return
+            reply = rebuilt
         if reply.get("status") != "ok":
             for promise, __ in waiters:
                 promise.reject(reply.get("status", "error"))
@@ -822,6 +1017,28 @@ class AccessManager:
         for promise, __ in waiters:
             promise.resolve(rdo)
 
+    def _rebuild_import_delta(
+        self, request: QRPCRequest, reply: dict
+    ) -> Optional[dict]:
+        """Reconstruct a full import reply from a delta against our base.
+
+        The delta applies to the marshalled base bytes we recorded at
+        commit time (never the live, possibly-mutated data), so the
+        rebuilt value is byte-identical to the server's copy.  Returns
+        ``None`` when the base we promised is no longer what we hold.
+        """
+        entry = self.cache.peek(request.urn)
+        if entry is None or entry.base_version != int(reply.get("base_version", -1)):
+            return None
+        try:
+            new_data = apply_delta(unmarshal(entry.base_raw), reply["delta"])
+        except (DeltaError, KeyError):
+            return None
+        wire = entry.rdo.to_wire()
+        wire["data"] = new_data
+        wire["version"] = int(reply["version"])
+        return {"status": "ok", "rdo": wire, "version": int(reply["version"])}
+
     def _apply_export(self, request: QRPCRequest, session: Optional[Session], reply: dict) -> None:
         status = reply.get("status")
         urn_str = request.urn
@@ -835,6 +1052,10 @@ class AccessManager:
                     entry = self.cache.peek(urn_str)
                     entry.base_version = int(reply["version"])
                     entry.rdo.version = int(reply["version"])
+                    if "data" in request.args:
+                        # The new server base is the round's snapshot,
+                        # not the (already newer) live data.
+                        entry.base_raw = marshal(request.args["data"])
                 else:
                     self.cache.commit(urn_str, int(reply["version"]))
             if session is not None:
@@ -938,6 +1159,117 @@ class AccessManager:
             promise.reject(reply.get("status", "error"))
             return
         promise.resolve(True)
+
+    # -- log compaction --------------------------------------------------------
+
+    def compact_now(self) -> int:
+        """Coalesce the never-dispatched suffix of the queue.
+
+        Runs at queue time (every new QRPC, every follow-up export) and
+        on reconnection, via the scheduler's drain hook, in the window
+        between link-up and the first dispatch.  Returns the number of
+        operations removed.  The simulator is single-threaded and this
+        runs atomically, so a plan computed over ``log.pending()`` is
+        executed against exactly the state it saw.
+        """
+        if self._crashed or self._engine is None:
+            return 0
+        pending = self.log.pending()
+        if not pending:
+            return 0
+        plan = self._engine.plan(pending, self._compactable)
+        if plan.is_empty:
+            return 0
+        drop_ids: list[str] = []
+        for request, absorber_id in plan.drops:
+            self._cancel_queued(request)
+            drop_ids.append(request.request_id)
+            self._absorbed.setdefault(absorber_id, []).append(request)
+        for request, reply in plan.cancels:
+            self._cancel_queued(request)
+            drop_ids.append(request.request_id)
+            # Deferred a tick so a request cancelled at queue time is
+            # resolved only after its caller got the promise back.
+            self.sim.schedule(0.0, self._deliver_synthetic, request, reply)
+        rewrites: dict[str, QRPCRequest] = {}
+        for request_id, args in plan.rewrites.items():
+            request = self.log.get(request_id)
+            if request is None:
+                continue
+            request.args = args
+            rewrites[request_id] = request
+            message = self._messages.get(request_id)
+            if message is not None and message.state == "queued":
+                message.body = self._wire_body(request)
+        flush_time = self.log.compact(drop_ids, rewrites)
+        self.flush_seconds_total += flush_time
+        self._flush_busy_until = max(self.sim.now, self._flush_busy_until) + flush_time
+        return len(drop_ids)
+
+    def _compactable(self, request: QRPCRequest) -> bool:
+        """Safe to coalesce: provably never dispatched to the server."""
+        if request.request_id in self._recovered_ids:
+            # A previous incarnation may have sent it; barrier.
+            return False
+        message = self._messages.get(request.request_id)
+        if message is None:
+            # Logged but not yet handed to the scheduler (stable-log
+            # flush still in progress): certainly never sent.
+            return True
+        return message.state == "queued"
+
+    def _cancel_queued(self, request: QRPCRequest) -> None:
+        message = self._messages.pop(request.request_id, None)
+        if message is not None:
+            self.scheduler.cancel(message)
+
+    def _deliver_synthetic(self, request: QRPCRequest, reply: dict) -> None:
+        """Resolve a cancelled-out pair member with its synthetic reply."""
+        if self._crashed:
+            return
+        self._finish_trace(request, status="ok")
+        self.notifications.publish(
+            EventType.RESPONSE_ARRIVED,
+            self.sim.now,
+            request_id=request.request_id,
+            operation=str(request.operation),
+            status=reply.get("status"),
+        )
+        self._dispatch_reply(request, None, reply)
+        self._resolve_absorbed(request, None, reply)
+
+    def _refresh_export(self, request: QRPCRequest) -> Optional[dict]:
+        """Rewrite rule: fold a dirty follow-up into its queued round.
+
+        The per-URN export pipeline holds at most one round in flight;
+        while that round sits in the queue (disconnected) and later
+        mutations have marked the object dirty, the queued round can
+        simply carry the *current* snapshot instead — the follow-up
+        round, and its whole trip over the slow link, disappears.  This
+        is overwrite-absorbs-overwrite for exports, expressed as a
+        rewrite because the pipeline never queues two rounds at once.
+        """
+        if self._crashed or request.operation is not Operation.EXPORT:
+            return None
+        state = self._exports.get(request.urn)
+        if not state or not state["inflight"] or not state["dirty"]:
+            return None
+        entry = self.cache.peek(request.urn)
+        if entry is None:
+            return None
+        # Fold: the queued promises now ride on this round.  Each folded
+        # round is one export that never crosses the wire.
+        state["dirty"] = False
+        self.log.note_compacted(len(state["queued"]))
+        state["current"].extend(state["queued"])
+        state["queued"] = []
+        new_args = {
+            "data": unmarshal(marshal(entry.rdo.data)),
+            "base_version": entry.base_version,
+        }
+        if marshal(new_args) == marshal(request.args):
+            return None  # mutated back to the snapshot; nothing to rewrite
+        return new_args
 
     def _watch_connectivity(self) -> None:
         for link in self.host.links:

@@ -17,6 +17,7 @@ from enum import Enum
 from typing import Callable, Iterator, Optional
 
 from repro.core.rdo import RDO
+from repro.net.message import marshal
 from repro.obs import Observatory
 
 
@@ -36,6 +37,7 @@ class CacheEntry:
         "rdo",
         "status",
         "base_version",
+        "base_raw",
         "last_used",
         "pinned",
         "size",
@@ -46,6 +48,11 @@ class CacheEntry:
         self.rdo = rdo
         self.status = status
         self.base_version = rdo.version
+        #: Marshalled data of the base version — the ground truth for
+        #: delta shipping: a delta is computed against exactly the bytes
+        #: the server agreed to at ``base_version``, never against the
+        #: (possibly mutated) live ``rdo.data``.
+        self.base_raw = marshal(rdo.data)
         self.last_used = now
         self.pinned = False
         self.size = rdo.size_bytes
@@ -171,6 +178,7 @@ class ObjectCache:
             entry.rdo.data = data
         entry.rdo.version = new_version
         entry.base_version = new_version
+        entry.base_raw = marshal(entry.rdo.data)
         entry.status = CacheStatus.COMMITTED
         entry.refresh_size()
 

@@ -11,6 +11,14 @@ each record is a marshalled dict, either ``{"req": <request wire>}`` or
 ``{"ack": <request id>}``.  Acknowledgement markers make recovery a
 single forward scan, and a prefix of fully-acked records is truncated
 away opportunistically.
+
+Compaction (:meth:`compact`) rewrites the unacknowledged suffix without
+a separate log format: dropped requests get ordinary ack markers, and
+rewritten requests get a fresh ``{"req": ..., "ord": <logical order>}``
+record.  Recovery is last-writer-wins per request id, so the fresh
+record supersedes the original, and the carried ``ord`` keeps the
+request at its original place in the queue (a bare re-append would
+move it to the back, reordering the replay).
 """
 
 from __future__ import annotations
@@ -34,13 +42,22 @@ class OperationLog:
         self.stable = stable_log if stable_log is not None else StableLog()
         self._pending: dict[str, QRPCRequest] = {}
         self._record_seq: dict[str, int] = {}
+        self._order: dict[str, int] = {}
         self._acked: set[str] = set()
+        #: QRPCs removed from the queue by :meth:`compact` (lifetime).
+        self.ops_compacted = 0
+        self._m_compacted = None
         if obs is not None:
             # Live view: how many QRPCs are logged but unanswered.
             obs.registry.gauge(
                 "oplog_pending", "Logged-but-unacknowledged QRPCs",
                 labelnames=("owner",),
             ).labels(owner=owner).set_function(lambda: len(self._pending))
+            self._m_compacted = obs.registry.counter(
+                "log_ops_compacted_total",
+                "Queued QRPCs removed from the log by compaction",
+                labelnames=("owner",),
+            ).labels(owner=owner)
         self._recover()
 
     def _recover(self) -> None:
@@ -51,6 +68,7 @@ class OperationLog:
                 request = QRPCRequest.from_wire(entry["req"])
                 self._pending[request.request_id] = request
                 self._record_seq[request.request_id] = record.seq
+                self._order[request.request_id] = entry.get("ord", record.seq)
             elif "ack" in entry:
                 request_id = entry["ack"]
                 self._acked.add(request_id)
@@ -71,6 +89,7 @@ class OperationLog:
         flush_time = self.stable.flush() if flush else 0.0
         self._pending[request.request_id] = request
         self._record_seq[request.request_id] = seq
+        self._order[request.request_id] = seq
         return flush_time
 
     def flush(self) -> float:
@@ -93,6 +112,58 @@ class OperationLog:
         flush_time = self.stable.flush()
         self._maybe_truncate()
         return flush_time
+
+    def compact(
+        self,
+        drop_ids: list[str],
+        rewrites: Optional[dict[str, QRPCRequest]] = None,
+    ) -> float:
+        """Apply a compaction to the durable log; returns the flush time.
+
+        ``drop_ids`` leave the pending set via ordinary ack markers —
+        recovery already understands those, so a crash at any point
+        during compaction replays either the old queue or the compacted
+        one, never something in between.  ``rewrites`` maps request ids
+        to their replacement requests; each gets a fresh record carrying
+        the original logical order (see module docstring).  Requests
+        already acknowledged or unknown are skipped silently: the plan
+        was computed a moment ago and races with replies are benign.
+        """
+        wrote = False
+        for request_id in drop_ids:
+            if request_id in self._acked or request_id not in self._pending:
+                continue
+            request = self._pending.pop(request_id)
+            request.status = QRPCStatus.ACKED
+            self._acked.add(request_id)
+            self.stable.append(marshal({"ack": request_id}))
+            self.ops_compacted += 1
+            if self._m_compacted is not None:
+                self._m_compacted.inc()
+            wrote = True
+        for request_id, request in (rewrites or {}).items():
+            if request_id in self._acked or request_id not in self._pending:
+                continue
+            seq = self.stable.append(
+                marshal({"req": request.to_wire(), "ord": self._order[request_id]})
+            )
+            self._pending[request_id] = request
+            self._record_seq[request_id] = seq
+            wrote = True
+        if not wrote:
+            return 0.0
+        flush_time = self.stable.flush()
+        self._maybe_truncate()
+        return flush_time
+
+    def note_compacted(self, n: int) -> None:
+        """Count ``n`` operations that compaction kept off the wire
+        without a log record of their own (folded export rounds)."""
+        if n <= 0:
+            return
+        self.ops_compacted += n
+        if self._m_compacted is not None:
+            self._m_compacted.inc(n)
 
     def mark_failed(self, request_id: str) -> None:
         """Terminal transport failure; the request leaves the pending set."""
@@ -121,9 +192,14 @@ class OperationLog:
         return request_id in self._acked
 
     def pending(self) -> list[QRPCRequest]:
-        """Unacknowledged requests, oldest first."""
+        """Unacknowledged requests in logical queue order.
+
+        Sorted by logical order, not record position: a compaction
+        rewrite appends a fresh record but must not move the request
+        to the back of the queue.
+        """
         return sorted(
-            self._pending.values(), key=lambda r: self._record_seq[r.request_id]
+            self._pending.values(), key=lambda r: self._order[r.request_id]
         )
 
     def pending_count(self) -> int:

@@ -20,6 +20,7 @@ reply on redelivery, so QRPC retransmissions are safe.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Optional
 
 from repro.core.conflict import ConflictReport, ResolverRegistry
@@ -63,6 +64,7 @@ class RoverServer:
         auth_tokens: Optional[set[str]] = None,
         obs: Optional[Observatory] = None,
         verify_rdos: bool = True,
+        applied_cache_cap: int = 1024,
     ) -> None:
         self.sim = sim
         self.transport = transport
@@ -97,7 +99,16 @@ class RoverServer:
         self.rdos_rejected = 0
         self.history_limit = history_limit
         self._history: dict[str, list[tuple[int, Any]]] = {}
-        self._applied: dict[str, dict] = {}
+        #: At-most-once replies, LRU-ordered.  Two bounds keep it from
+        #: growing forever: clients piggyback an acknowledged-id
+        #: watermark on QRPC envelopes (entries below it are settled and
+        #: pruned exactly), and ``applied_cache_cap`` is the backstop
+        #: for clients that never report one.
+        self._applied: OrderedDict[str, dict] = OrderedDict()
+        self.applied_cache_cap = applied_cache_cap
+        self.applied_pruned = 0
+        #: Highest watermark seen per client id-prefix.
+        self._client_watermarks: dict[str, int] = {}
         self.imports_served = 0
         self.exports_committed = 0
         self.exports_resolved = 0
@@ -142,10 +153,18 @@ class RoverServer:
             "invalidations_sent",
             "locks_granted",
             "locks_denied",
+            "applied_pruned",
         ):
             gauge.labels(authority=authority, kind=attr).set_function(
                 lambda a=attr: getattr(self, a)
             )
+        delta_saved = self.obs.registry.counter(
+            "ship_delta_bytes_saved_total",
+            "Wire bytes avoided by shipping structural deltas",
+            labelnames=("authority", "direction"),
+        )
+        self._m_delta_down = delta_saved.labels(authority=authority, direction="down")
+        self._m_delta_up = delta_saved.labels(authority=authority, direction="up")
 
     # -- population ---------------------------------------------------------
 
@@ -235,13 +254,50 @@ class RoverServer:
             return None
         reply = self._applied.get(request_id)
         if reply is not None:
+            self._applied.move_to_end(request_id)
             self.duplicates_suppressed += 1
         return reply
 
     def _record_reply(self, request_id: Optional[str], reply: dict) -> dict:
         if request_id is not None:
             self._applied[request_id] = reply
+            self._applied.move_to_end(request_id)
+            while len(self._applied) > self.applied_cache_cap:
+                self._applied.popitem(last=False)
+                self.applied_pruned += 1
         return reply
+
+    def _observe_watermark(self, body: Any) -> None:
+        """Prune settled at-most-once entries for the sending client.
+
+        The envelope's ``ackw`` is ``[id_prefix, counter]``: every
+        request id with that prefix and a lower counter has had its
+        reply processed and acknowledged client-side, so it can never
+        be retransmitted — its cached reply is dead weight.
+        """
+        if not isinstance(body, dict):
+            return
+        ackw = body.get("ackw")
+        if not isinstance(ackw, list) or len(ackw) != 2:
+            return
+        prefix, watermark = str(ackw[0]), int(ackw[1])
+        if self._client_watermarks.get(prefix, -1) >= watermark:
+            return
+        self._client_watermarks[prefix] = watermark
+        stale = []
+        for request_id in self._applied:
+            head, sep, tail = request_id.rpartition("/")
+            if not sep or head != prefix:
+                continue
+            try:
+                counter = int(tail)
+            except ValueError:
+                continue
+            if counter < watermark:
+                stale.append(request_id)
+        for request_id in stale:
+            del self._applied[request_id]
+        self.applied_pruned += len(stale)
 
     def _authorized(self, body: Any) -> bool:
         if self.auth_tokens is None:
@@ -263,11 +319,36 @@ class RoverServer:
         self.imports_served += 1
         wire = dict(wire)
         wire["version"] = self.store.version(urn)
-        return {"status": "ok", "rdo": wire, "version": wire["version"]}
+        full = {"status": "ok", "rdo": wire, "version": wire["version"]}
+        have = body.get("have_version")
+        if have is None:
+            return full
+        # Warm re-import: the client still holds `have` — answer with a
+        # structural delta against it when that is actually smaller.
+        # The delta covers only the data (code/interface are immutable
+        # per URN), so the reply omits the rdo wire entirely.
+        from repro.net.message import marshalled_size
+        from repro.perf.delta import diff_value
+
+        base = self._base_data(urn, int(have))
+        if base is None:
+            return full
+        slim = {
+            "status": "ok-delta",
+            "delta": diff_value(base, wire["data"]),
+            "base_version": int(have),
+            "version": wire["version"],
+        }
+        saved = marshalled_size(full) - marshalled_size(slim)
+        if saved <= 0:
+            return full
+        self._m_delta_down.inc(saved)
+        return slim
 
     def _on_export(self, body: Any, source: Address) -> Any:
         if not self._authorized(body):
             return {"status": "unauthorized"}
+        self._observe_watermark(body)
         request_id = body.get("request_id")
         cached = self._cached_reply(request_id)
         if cached is not None:
@@ -275,6 +356,25 @@ class RoverServer:
         urn = body["urn"]
         base_version = int(body.get("base_version", 0))
         client_data = body.get("data")
+        if "delta" in body and "data" not in body:
+            # Delta export: reconstruct the client's full data from the
+            # base version both sides hold.  A history miss or a delta
+            # that does not fit the base gets "need-full" — deliberately
+            # NOT recorded in the at-most-once cache, so the client's
+            # full-data resend under the same request id still applies.
+            from repro.net.message import marshalled_size
+            from repro.perf.delta import DeltaError, apply_delta
+
+            base = self._base_data(urn, base_version)
+            if base is None:
+                return {"status": "need-full", "urn": urn}
+            try:
+                client_data = apply_delta(base, body["delta"])
+            except DeltaError:
+                return {"status": "need-full", "urn": urn}
+            saved = marshalled_size(client_data) - marshalled_size(body["delta"])
+            if saved > 0:
+                self._m_delta_up.inc(saved)
         wire = self.store.get_value(urn)
         if wire is None:
             return self._record_reply(request_id, {"status": "not-found", "urn": urn})
@@ -337,6 +437,7 @@ class RoverServer:
     def _on_invoke(self, body: Any, source: Address) -> Any:
         if not self._authorized(body):
             return {"status": "unauthorized"}
+        self._observe_watermark(body)
         request_id = body.get("request_id")
         cached = self._cached_reply(request_id)
         if cached is not None:
@@ -371,6 +472,7 @@ class RoverServer:
         """
         if not self._authorized(body):
             return {"status": "unauthorized"}
+        self._observe_watermark(body)
         request_id = body.get("request_id")
         cached = self._cached_reply(request_id)
         if cached is not None:

@@ -36,6 +36,31 @@ class MarshalError(Exception):
     """Raised for unsupported values or corrupt encodings."""
 
 
+class Premarshalled(dict):
+    """A dict that remembers its own encoding.
+
+    The QRPC path marshals each request body up to three times — for
+    size accounting at submit, again when batching, and again at
+    transmit.  Wrapping the body in ``Premarshalled`` marshals it once:
+    :func:`marshal`/:func:`marshalled_size` splice the cached ``raw``
+    bytes instead of re-encoding, while the object still behaves as a
+    plain dict for every reader (``body["urn"]``, ``.get`` etc.).
+
+    The cache is computed eagerly at construction, so the wrapped dict
+    must not be mutated afterwards — mutate-then-send would transmit
+    the stale bytes.  Unmarshalling the cached bytes yields a plain
+    dict, exactly as if the body had been encoded directly.
+    """
+
+    __slots__ = ("raw",)
+
+    def __init__(self, value: dict) -> None:
+        super().__init__(value)
+        out = bytearray()
+        _encode(dict(value), out)
+        self.raw = bytes(out)
+
+
 #: Maximum container nesting; beyond this the encoding is rejected
 #: rather than risking interpreter recursion limits on hostile input.
 MAX_DEPTH = 64
@@ -79,7 +104,9 @@ def _unzigzag(value: int) -> int:
 def _encode(value: Any, out: bytearray, depth: int = 0) -> None:
     if depth > MAX_DEPTH:
         raise MarshalError(f"nesting deeper than {MAX_DEPTH} levels")
-    if value is None:
+    if isinstance(value, Premarshalled):
+        out += value.raw
+    elif value is None:
         out += _TAG_NONE
     elif value is True:
         out += _TAG_TRUE
@@ -174,6 +201,8 @@ def _decode(data: bytes, pos: int, depth: int = 0) -> tuple[Any, int]:
 
 def marshal(value: Any) -> bytes:
     """Encode ``value`` to bytes."""
+    if isinstance(value, Premarshalled):
+        return value.raw
     out = bytearray()
     _encode(value, out)
     return bytes(out)
@@ -192,6 +221,8 @@ def unmarshal(data: bytes) -> Any:
 
 def marshalled_size(value: Any) -> int:
     """Size in bytes of the encoded value (what a link would carry)."""
+    if isinstance(value, Premarshalled):
+        return len(value.raw)
     return len(marshal(value))
 
 

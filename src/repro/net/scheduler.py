@@ -271,6 +271,12 @@ class NetworkScheduler:
             "sched_inflight", "Messages occupying the window", labelnames=("host",)
         ).labels(**host_label).set_function(lambda: self._inflight)
         self._watched_links: set[str] = set()
+        # Memoized _best_route results, keyed by (dst name, preference).
+        # Route availability only changes when link state does, so the
+        # cache is dumped wholesale on every link transition (and when
+        # routes or links are added) rather than tracked per entry.
+        self._route_cache: dict[tuple[str, Optional[int]], Optional[Route]] = {}
+        self._drain_hooks: list[Callable[[], None]] = []
         self._watch_links()
 
     # -- counters (registry-backed; attribute names kept for callers) -------
@@ -321,6 +327,16 @@ class NetworkScheduler:
     def add_route(self, route: Route) -> None:
         """Register an additional carrier (e.g. the SMTP relay route)."""
         self.routes.append(route)
+        self._route_cache.clear()
+
+    def add_drain_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` when a link comes back up, before the queue drains.
+
+        This is the reconnection-compaction window: the access manager
+        coalesces the queued backlog in the instant between link-up and
+        the first dispatch, so the drained queue is the compacted one.
+        """
+        self._drain_hooks.append(hook)
 
     def submit(
         self,
@@ -419,24 +435,33 @@ class NetworkScheduler:
             if link.name in self._watched_links:
                 continue
             self._watched_links.add(link.name)
+            # A link attached after construction may change route
+            # availability even before any transition fires.
+            self._route_cache.clear()
             link.on_transition(self._on_link_transition)
 
     def _on_link_transition(self, link: Link, is_up: bool) -> None:
+        self._route_cache.clear()
         if is_up:
+            for hook in self._drain_hooks:
+                hook()
             self._pump()
 
     def _best_route(
         self, dst: Host, preference: Optional[RouteKind] = None
     ) -> Optional[Route]:
+        key = (dst.name, None if preference is None else int(preference.value))
+        if key in self._route_cache:
+            return self._route_cache[key]
         candidates = [
             route
             for route in self.routes
             if route.available(dst)
             and (preference is None or route.kind == preference)
         ]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda route: route.quality)
+        best = max(candidates, key=lambda route: route.quality) if candidates else None
+        self._route_cache[key] = best
+        return best
 
     def _pump(self) -> None:
         deferred: list[tuple[tuple[int, int], QueuedMessage]] = []

@@ -22,7 +22,14 @@ import zlib
 from typing import Any, Callable, Optional
 
 from repro.net.link import LinkSpec
-from repro.net.message import MarshalError, marshal, seal, unmarshal, unseal
+from repro.net.message import (
+    MarshalError,
+    Premarshalled,
+    marshal,
+    seal,
+    unmarshal,
+    unseal,
+)
 from repro.net.simnet import Address, Host, Link, LinkDown
 from repro.obs import Observatory
 from repro.obs.trace import TRACE_KEY, parse_context
@@ -106,6 +113,11 @@ class Transport:
         self._m_corrupt = registry.counter(
             "transport_corrupt_frames_total",
             "Inbound frames dropped for failing their CRC seal",
+            labelnames=("host",),
+        ).labels(host=host.name)
+        self._m_marshal_hits = registry.counter(
+            "marshal_cache_hits_total",
+            "Request bodies transmitted from pre-marshalled bytes",
             labelnames=("host",),
         ).labels(host=host.name)
         #: Incremented by :meth:`crash`; replies computed by a dead
@@ -281,6 +293,8 @@ class Transport:
             if isinstance(request, dict)
             else None
         )
+        if isinstance(request, Premarshalled):
+            self._m_marshal_hits.inc()
         try:
             self.send(dst, RPC_PORT, envelope, link=link, on_failed=failed, trace=trace)
         except LinkDown as exc:

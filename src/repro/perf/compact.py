@@ -1,0 +1,341 @@
+"""Operation-log compaction — coalesce queued QRPCs before they hit the wire.
+
+Rover's log drains every queued operation verbatim on reconnection, so a
+user who marks a message read and then deletes it pays for two round
+trips over a 14.4 modem when one (or zero) would do.  This module is the
+application-pluggable coalescing engine: apps register *pair rules*
+(examined over adjacent operations on the same object) and *rewrite
+rules* (examined per surviving operation), and the
+:class:`~repro.core.access_manager.AccessManager` asks the compactor for
+a :class:`CompactionPlan` both at queue time and when a link comes back
+up, right before the drain.
+
+Soundness rules the engine enforces structurally:
+
+* Only *eligible* operations are touched — the caller's predicate
+  admits exactly the requests that have never been dispatched to the
+  server (scheduler state ``queued``, created this incarnation).  A
+  request the server may have seen is a **barrier**: nothing pairs
+  across it, so reordering semantics relative to the server are
+  preserved.
+* Pairing is adjacent-only within the per-URN subsequence.  Rules never
+  see operations on different objects and never skip over an
+  intervening operation on the same object.
+* The plan is advisory: the access manager re-checks that each dropped
+  request is still cancellable before acting, and the stable log is
+  rewritten (ack markers + fresh records) so crash recovery replays
+  exactly the compacted sequence.
+
+Outcomes a pair rule may return for ``(earlier, later)``:
+
+* :class:`Absorb` — the later operation subsumes the earlier
+  (overwrite-absorbs-overwrite).  The earlier is dropped; its
+  observers are resolved with the later's eventual outcome.
+* :class:`Merge` — the two fold into one: the earlier is dropped and
+  the later's args are rewritten (append-merge).
+* :class:`CancelOut` — the pair annihilates (create+delete).  Both are
+  dropped and their observers get the supplied synthetic replies,
+  shaped like the server replies they would have seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from repro.core.qrpc import Operation, QRPCRequest
+
+
+# -- pair-rule outcomes ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Absorb:
+    """Drop the earlier request; its observers follow the later's outcome."""
+
+
+@dataclass(frozen=True)
+class Merge:
+    """Drop the earlier request; the later survives with ``args``."""
+
+    args: dict
+
+
+@dataclass(frozen=True)
+class CancelOut:
+    """Drop both requests, resolving observers with synthetic replies."""
+
+    earlier_reply: dict
+    later_reply: dict
+
+
+Outcome = Absorb | Merge | CancelOut
+
+
+class PairRule:
+    """Examines an adjacent per-URN pair; returns an outcome or ``None``."""
+
+    def match(self, earlier: QRPCRequest, later: QRPCRequest) -> Optional[Outcome]:
+        raise NotImplementedError
+
+
+class RewriteRule:
+    """Examines a single surviving request; returns new args or ``None``."""
+
+    def rewrite(self, request: QRPCRequest) -> Optional[dict]:
+        raise NotImplementedError
+
+
+# -- the plan -------------------------------------------------------------------
+
+
+@dataclass
+class CompactionPlan:
+    """What the engine decided; the access manager executes it.
+
+    ``drops`` maps each absorbed/merged request to the id of the
+    surviving request whose outcome its observers should follow.
+    ``cancels`` pairs each annihilated request with the synthetic reply
+    its observers receive.  ``rewrites`` carries new args for surviving
+    requests (from :class:`Merge` outcomes and rewrite rules).
+    """
+
+    drops: list[tuple[QRPCRequest, str]] = field(default_factory=list)
+    cancels: list[tuple[QRPCRequest, dict]] = field(default_factory=list)
+    rewrites: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def ops_removed(self) -> int:
+        return len(self.drops) + len(self.cancels)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.drops or self.cancels or self.rewrites)
+
+
+class Compactor:
+    """Holds the registered rules and plans compactions over a pending list."""
+
+    def __init__(self) -> None:
+        self.pair_rules: list[PairRule] = []
+        self.rewrite_rules: list[RewriteRule] = []
+
+    def add_pair_rule(self, rule: PairRule) -> "Compactor":
+        self.pair_rules.append(rule)
+        return self
+
+    def add_rewrite_rule(self, rule: RewriteRule) -> "Compactor":
+        self.rewrite_rules.append(rule)
+        return self
+
+    def _match(self, earlier: QRPCRequest, later: QRPCRequest) -> Optional[Outcome]:
+        for rule in self.pair_rules:
+            outcome = rule.match(earlier, later)
+            if outcome is not None:
+                return outcome
+        return None
+
+    def plan(
+        self,
+        requests: list[QRPCRequest],
+        eligible: Callable[[QRPCRequest], bool],
+    ) -> CompactionPlan:
+        """Plan a compaction of ``requests`` (in logical queue order).
+
+        ``eligible`` admits requests that are safe to touch; anything it
+        rejects acts as a barrier for its URN.
+        """
+        plan = CompactionPlan()
+        # Per-URN most recent *surviving eligible* request, with its
+        # effective (possibly merged) args.
+        last: dict[str, tuple[QRPCRequest, dict]] = {}
+        for request in requests:
+            urn = request.urn
+            if not eligible(request):
+                last.pop(urn, None)
+                continue
+            prev = last.get(urn)
+            if prev is not None:
+                prev_request, prev_args = prev
+                earlier = (
+                    prev_request
+                    if prev_args is prev_request.args
+                    else replace(prev_request, args=prev_args)
+                )
+                outcome = self._match(earlier, request)
+                if isinstance(outcome, Absorb):
+                    plan.drops.append((prev_request, request.request_id))
+                    plan.rewrites.pop(prev_request.request_id, None)
+                    last[urn] = (request, request.args)
+                    continue
+                if isinstance(outcome, Merge):
+                    plan.drops.append((prev_request, request.request_id))
+                    plan.rewrites.pop(prev_request.request_id, None)
+                    plan.rewrites[request.request_id] = outcome.args
+                    last[urn] = (request, outcome.args)
+                    continue
+                if isinstance(outcome, CancelOut):
+                    plan.cancels.append((prev_request, outcome.earlier_reply))
+                    plan.cancels.append((request, outcome.later_reply))
+                    plan.rewrites.pop(prev_request.request_id, None)
+                    last.pop(urn, None)
+                    continue
+            last[urn] = (request, request.args)
+
+        removed = {req.request_id for req, _ in plan.drops}
+        removed.update(req.request_id for req, _ in plan.cancels)
+        for request in requests:
+            if request.request_id in removed or not eligible(request):
+                continue
+            args = plan.rewrites.get(request.request_id, request.args)
+            effective = (
+                request if args is request.args else replace(request, args=args)
+            )
+            for rule in self.rewrite_rules:
+                new_args = rule.rewrite(effective)
+                if new_args is not None:
+                    plan.rewrites[request.request_id] = new_args
+                    effective = replace(request, args=new_args)
+        return plan
+
+
+# -- generic rules apps compose -------------------------------------------------
+
+
+def _invoke_key(request: QRPCRequest, index: Optional[int]) -> Any:
+    """Identity argument of an INVOKE at positional ``index`` (marker if absent)."""
+    if index is None:
+        return None
+    args = request.args.get("args") or []
+    return args[index] if len(args) > index else _MISSING
+
+
+_MISSING = object()
+
+
+class InvokeAbsorb(PairRule):
+    """Later invoke of ``method`` makes an earlier one redundant.
+
+    The earlier's method must be in ``absorbs`` (defaults to just
+    ``method``), and when ``key`` is given the positional argument at
+    that index — the entity identifier — must match on both sides.
+    Covers both overwrite-absorbs-overwrite (``move_event`` twice for
+    one event) and idempotent duplicates (``mark_read`` twice).
+    """
+
+    def __init__(
+        self,
+        method: str,
+        absorbs: Optional[set[str]] = None,
+        key: Optional[int] = None,
+    ) -> None:
+        self.method = method
+        self.absorbs = set(absorbs) if absorbs is not None else {method}
+        self.key = key
+
+    def match(self, earlier: QRPCRequest, later: QRPCRequest) -> Optional[Outcome]:
+        if earlier.operation is not Operation.INVOKE or later.operation is not Operation.INVOKE:
+            return None
+        if later.args.get("method") != self.method:
+            return None
+        if earlier.args.get("method") not in self.absorbs:
+            return None
+        if self.key is not None:
+            a = _invoke_key(earlier, self.key)
+            b = _invoke_key(later, self.key)
+            if a is _MISSING or b is _MISSING or a != b:
+                return None
+        return Absorb()
+
+
+class AppendMerge(PairRule):
+    """Adjacent appends to one object fold into a single batched invoke.
+
+    ``method`` appends one item (first positional arg); ``batch_method``
+    appends a list of items.  Either shape matches on either side, so a
+    long run of appends folds left into one growing batch.
+    """
+
+    def __init__(self, method: str, batch_method: str) -> None:
+        self.method = method
+        self.batch_method = batch_method
+
+    def _items(self, request: QRPCRequest) -> Optional[list]:
+        name = request.args.get("method")
+        args = request.args.get("args") or []
+        if not args:
+            return None
+        if name == self.method:
+            return [args[0]]
+        if name == self.batch_method:
+            value = args[0]
+            return list(value) if isinstance(value, list) else None
+        return None
+
+    def match(self, earlier: QRPCRequest, later: QRPCRequest) -> Optional[Outcome]:
+        if earlier.operation is not Operation.INVOKE or later.operation is not Operation.INVOKE:
+            return None
+        head = self._items(earlier)
+        tail = self._items(later)
+        if head is None or tail is None:
+            return None
+        return Merge({"method": self.batch_method, "args": [head + tail]})
+
+
+class CreateDeleteCancel(PairRule):
+    """A queued create followed by its delete annihilates.
+
+    ``key`` indexes the positional argument identifying the entity on
+    both sides.  The synthetic replies mimic what the server would have
+    said for each half (``result`` values via the factories; no
+    ``version`` key, because no server write ever happens).
+    """
+
+    def __init__(
+        self,
+        create_method: str,
+        delete_method: str,
+        key: int = 0,
+        create_result: Callable[[QRPCRequest], Any] = lambda request: True,
+        delete_result: Callable[[QRPCRequest], Any] = lambda request: True,
+    ) -> None:
+        self.create_method = create_method
+        self.delete_method = delete_method
+        self.key = key
+        self.create_result = create_result
+        self.delete_result = delete_result
+
+    def match(self, earlier: QRPCRequest, later: QRPCRequest) -> Optional[Outcome]:
+        if earlier.operation is not Operation.INVOKE or later.operation is not Operation.INVOKE:
+            return None
+        if earlier.args.get("method") != self.create_method:
+            return None
+        if later.args.get("method") != self.delete_method:
+            return None
+        a = _invoke_key(earlier, self.key)
+        b = _invoke_key(later, self.key)
+        if a is _MISSING or b is _MISSING or a != b:
+            return None
+        return CancelOut(
+            {"status": "ok", "result": self.create_result(earlier), "compacted": True},
+            {"status": "ok", "result": self.delete_result(later), "compacted": True},
+        )
+
+
+class DuplicateImportCoalesce(PairRule):
+    """Two queued imports of the same object need only one fetch."""
+
+    def match(self, earlier: QRPCRequest, later: QRPCRequest) -> Optional[Outcome]:
+        if earlier.operation is Operation.IMPORT and later.operation is Operation.IMPORT:
+            return Absorb()
+        return None
+
+
+class CallableRewrite(RewriteRule):
+    """Adapter: any ``request -> args|None`` callable as a rewrite rule."""
+
+    def __init__(self, fn: Callable[[QRPCRequest], Optional[dict]]) -> None:
+        self.fn = fn
+
+    def rewrite(self, request: QRPCRequest) -> Optional[dict]:
+        return self.fn(request)

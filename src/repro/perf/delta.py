@@ -1,0 +1,130 @@
+"""Structural deltas — ship what changed, not the whole object.
+
+On a 14.4 modem, re-shipping a 2 KB folder because one flag flipped is
+the dominant cost of weak connectivity.  This module computes a
+marshallable *structural diff* between two values and applies it on the
+far side:
+
+* the client's :class:`~repro.core.object_cache.ObjectCache` keeps the
+  marshalled bytes of the base version it holds;
+* exports send ``{"delta", "base_version"}`` instead of ``{"data"}``
+  when the delta is smaller, and the server reconstructs the full value
+  from its version history;
+* imports send ``have_version`` and the server answers with a delta
+  against that base when it still has it.
+
+Either side falls back to a full ship on a history miss (the server
+replies ``need-full``; the client re-imports without a base) — the
+delta protocol is an optimization, never a correctness dependency.
+
+Delta wire format (a single-key dict, one-character tags):
+
+* ``{"=": 1}`` — identical (byte-for-byte under :func:`marshal`);
+* ``{"!": value}`` — replace wholesale;
+* ``{"l": suffix}`` — list append: ``new == base + suffix``;
+* ``{"d": [keys, edits]}`` — dict edit: ``keys`` is the *final* key
+  order (marshalling is insertion-order-sensitive, so the order must
+  travel), ``edits`` maps changed/new keys to sub-deltas; unchanged
+  keys are copied from the base.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.message import MarshalError, marshal, marshalled_size
+
+
+class DeltaError(Exception):
+    """A delta could not be applied to the given base."""
+
+
+def _same(a: Any, b: Any) -> bool:
+    """Byte-level equality under marshal.
+
+    Plain ``==`` is too loose (``True == 1``) for a protocol whose
+    coherence checks compare marshalled bytes; two values are "the
+    same" only if they encode identically.
+    """
+    try:
+        return marshal(a) == marshal(b)
+    except MarshalError:
+        return False
+
+
+def diff_value(base: Any, new: Any) -> dict:
+    """Delta that transforms ``base`` into ``new``.
+
+    Always returns a valid delta; the worst case is a wholesale
+    replace.  Callers compare :func:`delta_size` against the full value
+    and only put the delta on the wire when it is actually smaller.
+    """
+    if _same(base, new):
+        return {"=": 1}
+    if isinstance(base, dict) and isinstance(new, dict):
+        edits: dict[Any, Any] = {}
+        for key, value in new.items():
+            if key not in base:
+                edits[key] = {"!": value}
+            elif not _same(base[key], value):
+                edits[key] = diff_value(base[key], value)
+        return {"d": [list(new.keys()), edits]}
+    if isinstance(base, list) and isinstance(new, list):
+        if len(new) >= len(base) and _same(new[: len(base)], base):
+            return {"l": new[len(base):]}
+        return {"!": new}
+    return {"!": new}
+
+
+def apply_delta(base: Any, delta: Any) -> Any:
+    """Reconstruct the new value from ``base`` and a delta.
+
+    Raises :class:`DeltaError` when the delta does not fit the base
+    (e.g. it references a key the base lacks) — callers treat that as
+    a base mismatch and fall back to a full ship.
+    """
+    if not isinstance(delta, dict) or len(delta) != 1:
+        raise DeltaError(f"malformed delta: {delta!r}")
+    if "=" in delta:
+        return base
+    if "!" in delta:
+        return delta["!"]
+    if "l" in delta:
+        if not isinstance(base, list):
+            raise DeltaError("list-append delta against a non-list base")
+        return base + list(delta["l"])
+    if "d" in delta:
+        if not isinstance(base, dict):
+            raise DeltaError("dict delta against a non-dict base")
+        keys, edits = delta["d"]
+        result: dict[Any, Any] = {}
+        for key in keys:
+            if key in edits:
+                sub = edits[key]
+                if isinstance(sub, dict) and "!" in sub and len(sub) == 1:
+                    result[key] = sub["!"]
+                else:
+                    if key not in base:
+                        raise DeltaError(f"delta edits key {key!r} missing from base")
+                    result[key] = apply_delta(base[key], sub)
+            else:
+                if key not in base:
+                    raise DeltaError(f"delta keeps key {key!r} missing from base")
+                result[key] = base[key]
+        return result
+    raise DeltaError(f"unknown delta tag in {delta!r}")
+
+
+def delta_size(delta: Any) -> int:
+    """Marshalled size of a delta (what the wire would carry)."""
+    return marshalled_size(delta)
+
+
+def worth_shipping(delta: Any, full_value: Any, margin: int = 0) -> bool:
+    """True when the delta is strictly smaller than the full value.
+
+    ``margin`` charges the delta for protocol overhead (extra reply
+    keys etc.) so a break-even delta does not displace the simpler
+    full ship.
+    """
+    return delta_size(delta) + margin < marshalled_size(full_value)

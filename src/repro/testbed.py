@@ -23,8 +23,22 @@ from repro.net.simnet import Host, Link, Network
 from repro.net.smtp import MailRelay, Mailbox, MailRoute, MailRpcEndpoint
 from repro.net.transport import Transport
 from repro.obs import Observatory, active_capture
+from repro.perf.compact import Compactor
 from repro.sim import Simulator
 from repro.storage.stable_log import FlushModel, StableLog
+
+
+def default_compactor() -> Compactor:
+    """A compactor loaded with every bundled app's compaction rules."""
+    from repro.apps.calendar import register_calendar_compaction
+    from repro.apps.mail import register_mail_compaction
+    from repro.apps.webproxy import register_webproxy_compaction
+
+    compactor = Compactor()
+    register_mail_compaction(compactor)
+    register_calendar_compaction(compactor)
+    register_webproxy_compaction(compactor)
+    return compactor
 
 
 @dataclass
@@ -87,6 +101,8 @@ def build_testbed(
     trace: bool = False,
     rpc_timeout_s: float = 600.0,
     max_attempts: int = 8,
+    compaction: bool = False,
+    delta_shipping: bool = False,
 ) -> Testbed:
     """Build the canonical client/server testbed.
 
@@ -165,6 +181,8 @@ def build_testbed(
         ),
         notifications=NotificationCenter(),
         obs=obs,
+        compactor=default_compactor() if compaction else None,
+        delta_shipping=delta_shipping,
     )
     access.watch_new_links()
 
@@ -239,6 +257,8 @@ def build_multi_client_testbed(
     obs: Optional[Observatory] = None,
     trace: bool = False,
     rpc_timeout_s: float = 600.0,
+    compaction: bool = False,
+    delta_shipping: bool = False,
 ) -> MultiClientTestbed:
     """Build N clients, each with its own link (and policy) to one server.
 
@@ -280,6 +300,8 @@ def build_multi_client_testbed(
             ),
             notifications=NotificationCenter(),
             obs=obs,
+            compactor=default_compactor() if compaction else None,
+            delta_shipping=delta_shipping,
         )
         access.watch_new_links()
         clients.append(ClientStack(host, link, transport, scheduler, access))

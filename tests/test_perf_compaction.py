@@ -1,0 +1,323 @@
+"""Operation-log compaction: the engine, the durable rewrite, and the
+replay-equivalence property."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.calendar import register_calendar_compaction
+from repro.core.operation_log import OperationLog
+from repro.core.qrpc import Operation, QRPCRequest
+from repro.net.link import ETHERNET_10M, IntervalTrace
+from repro.perf.compact import (
+    AppendMerge,
+    Compactor,
+    CreateDeleteCancel,
+    DuplicateImportCoalesce,
+    InvokeAbsorb,
+)
+from repro.storage.stable_log import StableLog
+from repro.testbed import build_testbed
+from tests.conftest import make_note
+
+URN = "urn:server:cal/group"
+
+
+def _invoke(rid: str, method: str, args: list, urn: str = URN) -> QRPCRequest:
+    return QRPCRequest(
+        request_id=rid,
+        session_id="s",
+        operation=Operation.INVOKE,
+        urn=urn,
+        args={"method": method, "args": args},
+    )
+
+
+def _all(request: QRPCRequest) -> bool:
+    return True
+
+
+# -- engine unit tests -------------------------------------------------------
+
+
+def test_invoke_absorb_drops_the_earlier_call():
+    engine = Compactor().add_pair_rule(InvokeAbsorb("move_event", key=0))
+    a = _invoke("r1", "move_event", ["e1", "10am"])
+    b = _invoke("r2", "move_event", ["e1", "11am"])
+    plan = engine.plan([a, b], _all)
+    assert plan.drops == [(a, "r2")]
+    assert not plan.cancels and not plan.rewrites
+
+
+def test_invoke_absorb_respects_the_key_argument():
+    engine = Compactor().add_pair_rule(InvokeAbsorb("move_event", key=0))
+    a = _invoke("r1", "move_event", ["e1", "10am"])
+    b = _invoke("r2", "move_event", ["e2", "11am"])
+    assert engine.plan([a, b], _all).is_empty
+
+
+def test_requests_on_different_urns_never_pair():
+    engine = Compactor().add_pair_rule(InvokeAbsorb("mark_read"))
+    a = _invoke("r1", "mark_read", [], urn="urn:server:mail/in/m1")
+    b = _invoke("r2", "mark_read", [], urn="urn:server:mail/in/m2")
+    assert engine.plan([a, b], _all).is_empty
+
+
+def test_append_merge_folds_a_run_into_one_batch():
+    engine = Compactor().add_pair_rule(AppendMerge("append_entry", "append_entries"))
+    ops = [_invoke(f"r{i}", "append_entry", [{"id": f"m{i}"}]) for i in range(3)]
+    plan = engine.plan(ops, _all)
+    assert [rid for __, rid in plan.drops] == ["r1", "r2"]
+    assert plan.rewrites["r2"] == {
+        "method": "append_entries",
+        "args": [[{"id": "m0"}, {"id": "m1"}, {"id": "m2"}]],
+    }
+
+
+def test_create_delete_cancels_out_with_versionless_replies():
+    engine = Compactor().add_pair_rule(
+        CreateDeleteCancel("add_event", "cancel_event", key=0)
+    )
+    a = _invoke("r1", "add_event", ["e1", "standup", "r5", "9am", []])
+    b = _invoke("r2", "cancel_event", ["e1"])
+    plan = engine.plan([a, b], _all)
+    assert not plan.drops
+    assert [r.request_id for r, __ in plan.cancels] == ["r1", "r2"]
+    for __, reply in plan.cancels:
+        assert reply["status"] == "ok"
+        assert reply["compacted"] is True
+        assert "version" not in reply  # no server write ever happened
+
+
+def test_ineligible_request_is_a_barrier():
+    engine = Compactor().add_pair_rule(InvokeAbsorb("move_event", key=0))
+    a = _invoke("r1", "move_event", ["e1", "10am"])
+    b = _invoke("r2", "move_event", ["e1", "11am"])
+    plan = engine.plan([a, b], lambda r: r.request_id != "r1")
+    assert plan.is_empty  # r1 may already be at the server: hands off
+
+
+def test_barrier_in_the_middle_splits_the_chain():
+    engine = Compactor().add_pair_rule(InvokeAbsorb("move_event", key=0))
+    ops = [
+        _invoke("r1", "move_event", ["e1", "a"]),
+        _invoke("r2", "move_event", ["e1", "b"]),
+        _invoke("r3", "move_event", ["e1", "c"]),
+    ]
+    plan = engine.plan(ops, lambda r: r.request_id != "r2")
+    # r1 cannot pair across the dispatched r2; r3 has no one left.
+    assert plan.is_empty
+
+
+def test_duplicate_import_coalesce():
+    engine = Compactor().add_pair_rule(DuplicateImportCoalesce())
+    a = QRPCRequest("r1", "s", Operation.IMPORT, "urn:server:web/p")
+    b = QRPCRequest("r2", "s", Operation.IMPORT, "urn:server:web/p")
+    plan = engine.plan([a, b], _all)
+    assert plan.drops == [(a, "r2")]
+
+
+def test_absorb_chain_follows_the_final_survivor():
+    engine = Compactor().add_pair_rule(InvokeAbsorb("move_event", key=0))
+    ops = [_invoke(f"r{i}", "move_event", ["e1", f"slot{i}"]) for i in range(4)]
+    plan = engine.plan(ops, _all)
+    assert [(r.request_id, rid) for r, rid in plan.drops] == [
+        ("r0", "r1"), ("r1", "r2"), ("r2", "r3"),
+    ]
+
+
+# -- replay equivalence (property) -------------------------------------------
+
+
+def _apply(state: dict, request: QRPCRequest) -> None:
+    """The calendar semantics the compaction rules assume."""
+    method = request.args["method"]
+    args = request.args["args"]
+    if method == "add_event":
+        state[args[0]] = args[1]
+    elif method == "move_event":
+        if args[0] in state:
+            state[args[0]] = args[1]
+    elif method == "cancel_event":
+        state.pop(args[0], None)
+
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "move", "cancel"]),
+              st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=5)),
+    max_size=20,
+)
+
+
+@settings(max_examples=200)
+@given(_ops)
+def test_compacted_replay_is_equivalent(ops):
+    """Replaying the compacted queue reaches the same server state as
+    replaying the original queue, for any op sequence."""
+    requests = []
+    for i, (kind, ent, slot) in enumerate(ops):
+        if kind == "add":
+            # Event ids are unique per add (the app's invariant that
+            # makes create+delete annihilation sound).
+            requests.append(_invoke(f"r{i}", "add_event", [f"e{i}", f"s{slot}"]))
+        elif kind == "move":
+            requests.append(_invoke(f"r{i}", "move_event", [f"e{ent}", f"s{slot}"]))
+        else:
+            requests.append(_invoke(f"r{i}", "cancel_event", [f"e{ent}"]))
+
+    engine = Compactor()
+    engine.add_pair_rule(InvokeAbsorb("move_event", key=0))
+    engine.add_pair_rule(CreateDeleteCancel("add_event", "cancel_event", key=0))
+    plan = engine.plan(requests, _all)
+
+    removed = {r.request_id for r, __ in plan.drops}
+    removed |= {r.request_id for r, __ in plan.cancels}
+    compacted = []
+    for request in requests:
+        if request.request_id in removed:
+            continue
+        args = plan.rewrites.get(request.request_id, request.args)
+        compacted.append(QRPCRequest(
+            request.request_id, request.session_id, request.operation,
+            request.urn, args,
+        ))
+
+    original_state: dict = {}
+    for request in requests:
+        _apply(original_state, request)
+    compacted_state: dict = {}
+    for request in compacted:
+        _apply(compacted_state, request)
+    assert compacted_state == original_state
+
+
+def test_calendar_registration_compacts_a_session():
+    engine = register_calendar_compaction(Compactor())
+    ops = [
+        _invoke("r1", "add_event", ["e1", "standup", "r5", "9am", ["10am"]]),
+        _invoke("r2", "cancel_event", ["e1"]),
+        _invoke("r3", "move_event", ["e2", "1pm"]),
+        _invoke("r4", "move_event", ["e2", "2pm"]),
+    ]
+    plan = engine.plan(ops, _all)
+    assert plan.ops_removed == 3  # only r4 survives
+
+
+# -- the durable rewrite -----------------------------------------------------
+
+
+def test_compact_drops_and_rewrites_survive_recovery_in_order():
+    backend_log = StableLog()
+    log = OperationLog(backend_log)
+    ops = [_invoke(f"r{i}", "append_entry", [{"id": f"m{i}"}]) for i in range(4)]
+    for request in ops:
+        log.append(request)
+
+    merged = QRPCRequest(
+        "r3", "s", Operation.INVOKE, URN,
+        {"method": "append_entries",
+         "args": [[{"id": f"m{i}"} for i in range(4)]]},
+    )
+    log.compact(["r0", "r1", "r2"], {"r3": merged})
+    assert log.ops_compacted == 3
+    assert [r.request_id for r in log.pending()] == ["r3"]
+
+    # A fresh log over the same backend replays exactly the compacted queue.
+    recovered = OperationLog(StableLog(backend_log.backend))
+    pending = recovered.pending()
+    assert [r.request_id for r in pending] == ["r3"]
+    assert pending[0].args == merged.args
+
+
+def test_rewrite_keeps_logical_queue_order_across_recovery():
+    backend_log = StableLog()
+    log = OperationLog(backend_log)
+    first = _invoke("r1", "move_event", ["e1", "9am"], urn="urn:server:cal/a")
+    second = _invoke("r2", "move_event", ["e2", "9am"], urn="urn:server:cal/b")
+    log.append(first)
+    log.append(second)
+    # Rewrite the FIRST request: its fresh record lands after r2's, but
+    # the carried logical order must keep it first in the queue.
+    rewritten = QRPCRequest(
+        "r1", "s", Operation.INVOKE, "urn:server:cal/a",
+        {"method": "move_event", "args": ["e1", "10am"]},
+    )
+    log.compact([], {"r1": rewritten})
+    assert [r.request_id for r in log.pending()] == ["r1", "r2"]
+
+    recovered = OperationLog(StableLog(backend_log.backend))
+    assert [r.request_id for r in recovered.pending()] == ["r1", "r2"]
+    assert recovered.pending()[0].args["args"] == ["e1", "10am"]
+
+
+def test_compact_skips_already_acked_requests():
+    log = OperationLog(StableLog())
+    request = _invoke("r1", "move_event", ["e1", "9am"])
+    log.append(request)
+    log.acknowledge("r1")
+    log.compact(["r1"], {})
+    assert log.ops_compacted == 0
+
+
+# -- the refresh-export fold (integration) -----------------------------------
+
+
+def _disconnected_bed(**kwargs):
+    bed = build_testbed(
+        link_spec=ETHERNET_10M,
+        policy=IntervalTrace([(0.0, 10.0), (100.0, 1e9)]),
+        **kwargs,
+    )
+    note = make_note()
+    bed.server.put_object(note)
+    session = bed.access.create_session("s")
+    bed.access.import_(note.urn, session)
+    bed.sim.run(until=5.0)
+    return bed, note, session
+
+
+def test_dirty_followups_fold_into_the_queued_export():
+    bed, note, session = _disconnected_bed(compaction=True)
+    bed.sim.run(until=20.0)  # disconnected now
+    for text in ("one", "two", "three"):
+        bed.access.invoke(note.urn, "set_text", text, session=session)
+    bed.sim.run()
+    # One export carried all three mutations: the server version moved
+    # exactly once and holds the final text.
+    server_copy = bed.server.get_object(str(note.urn))
+    assert server_copy.data["text"] == "three"
+    assert server_copy.version == 2  # put_object v1, one export commit
+    assert bed.access.log.ops_compacted == 2
+    assert bed.access.pending_count() == 0
+    assert bed.access.cache.tentative_urns() == []
+
+
+def test_without_compaction_each_followup_exports():
+    bed, note, session = _disconnected_bed(compaction=False)
+    bed.sim.run(until=20.0)
+    for text in ("one", "two", "three"):
+        bed.access.invoke(note.urn, "set_text", text, session=session)
+    bed.sim.run()
+    server_copy = bed.server.get_object(str(note.urn))
+    assert server_copy.data["text"] == "three"
+    assert server_copy.version > 2  # follow-up export rounds happened
+    assert bed.access.log.ops_compacted == 0
+
+
+def test_folded_promises_all_resolve():
+    bed, note, session = _disconnected_bed(compaction=True)
+    bed.sim.run(until=20.0)
+    bed.access.invoke(note.urn, "set_text", "one", session=session)
+    # Two explicit follow-up rounds while the first sits in the queue:
+    # their promises must resolve when the single folded round commits.
+    followups = [
+        bed.access.export(note.urn, session=session),
+        bed.access.export(note.urn, session=session),
+    ]
+    bed.sim.run()
+    for promise in followups:
+        assert promise.ready and not promise.failed
+    assert bed.access.pending_count() == 0
+    assert bed.access.cache.tentative_urns() == []
