@@ -1,7 +1,7 @@
 PYTHON ?= python
 CHAOS_SEED ?= 0
 
-.PHONY: install test lint bench tables chaos perf demo examples clean
+.PHONY: install test lint bench tables chaos check perf demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -23,6 +23,13 @@ chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest -q \
 		tests/test_chaos_faults.py tests/test_chaos_convergence.py \
 		benchmarks/test_e13_chaos.py
+
+# Bounded interleaving model check (docs/VERIFICATION.md); < 2 min.
+# On a violation it writes the minimized trace to check-counterexample.json.
+check:
+	$(PYTHON) -m repro.check --suite warm-import --depth 1
+	$(PYTHON) -m repro.check --suite crash-during-drain --suite delta-ship \
+		--suite conflict-export --depth 2
 
 perf:
 	$(PYTHON) -m pytest -q benchmarks/test_e14_wire.py benchmarks/test_micro_primitives.py --benchmark-only

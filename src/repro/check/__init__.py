@@ -1,0 +1,34 @@
+"""Small-scope interleaving model checker for the QRPC protocol.
+
+Seeded chaos (:mod:`repro.chaos`) *samples* the failure space; this
+package *enumerates* it, bounded.  The simulator exposes every
+scheduler-relevant nondeterministic outcome — deliver / drop /
+duplicate / delay a frame, flap a link mid-transfer, crash a client at
+a stable-log record boundary — as an enumerable decision point
+(:meth:`repro.sim.Simulator.decide`), and the explorer drives a fresh
+scenario run down every bounded sequence of non-default choices,
+validating each terminal state against a sequential oracle plus the
+:mod:`repro.chaos.invariants` checkers.
+
+Entry points:
+
+* ``python -m repro.check --suite warm-import --depth 2`` — CLI;
+* :func:`repro.check.explorer.explore` — programmatic exploration;
+* :func:`repro.check.replay.run_with_choices` — replay one
+  counterexample trace deterministically (regression tests).
+
+See ``docs/VERIFICATION.md`` for the state-space model and the
+pruning-soundness argument.
+"""
+
+from repro.check.explorer import ExploreResult, explore
+from repro.check.replay import run_with_choices
+from repro.check.scenarios import SCENARIOS, get_scenario
+
+__all__ = [
+    "ExploreResult",
+    "explore",
+    "run_with_choices",
+    "SCENARIOS",
+    "get_scenario",
+]

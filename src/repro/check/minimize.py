@@ -1,0 +1,38 @@
+"""Greedy counterexample minimization.
+
+A violating trace from the explorer carries at most ``depth`` forced
+choices, but even those may not all be needed.  Minimization repeatedly
+tries reverting each forced choice to the fault-free default and keeps
+any revert that preserves a violation, iterating to a fixpoint — the
+result is a locally-minimal trace where every remaining choice is
+load-bearing.  Each probe is one deterministic scenario run, so the
+procedure is exact (no flakiness to average over).
+"""
+
+from __future__ import annotations
+
+from repro.check.scenarios import Chooser, RunResult, Scenario
+
+
+def minimize(
+    scenario: Scenario, choices: dict[int, int], pruning: bool = True
+) -> tuple[dict[int, int], RunResult]:
+    """Smallest sub-trace of ``choices`` that still violates.
+
+    Returns ``(minimal_choices, violating_run)``.  ``choices`` must
+    itself produce a violation (ValueError otherwise).
+    """
+    current = dict(choices)
+    run = scenario.run(Chooser(current), pruning=pruning)
+    if not run.violations:
+        raise ValueError("trace to minimize does not violate")
+    changed = True
+    while changed:
+        changed = False
+        for position in sorted(current):
+            trial = {p: c for p, c in current.items() if p != position}
+            trial_run = scenario.run(Chooser(trial), pruning=pruning)
+            if trial_run.violations:
+                current, run, changed = trial, trial_run, True
+                break
+    return current, run

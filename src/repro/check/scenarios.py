@@ -1,0 +1,555 @@
+"""Named checker scenarios: small protocol workloads with oracles.
+
+Each scenario builds a fresh testbed, installs the decision-point seams
+(:mod:`repro.check.seam`), drives 1–3 model clients through a short
+QRPC program, runs to quiescence, and validates the terminal state.
+One ``Scenario.run()`` call is one *interleaving*: the installed
+:class:`Chooser` resolves every decision point from a sparse
+``{position: choice}`` trace (missing positions take the fault-free
+default), so the same trace always reproduces the same run bit for
+bit — that is what the explorer enumerates and the replayer pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.check import oracle
+from repro.check.seam import (
+    CheckHarness,
+    SwitchablePolicy,
+    arm_crash_points,
+    count_dispatch_while_down,
+    install_injectors,
+)
+from repro.core.access_manager import AccessManagerError
+from repro.core.naming import URN
+from repro.core.rdo import RDO, MethodSpec, RDOInterface
+from repro.net.link import CSLIP_14_4
+from repro.testbed import build_multi_client_testbed
+
+
+@dataclass
+class Decision:
+    """One resolved decision point in a run's trace."""
+
+    n: int
+    chosen: int
+    meta: dict
+
+
+@dataclass
+class RunResult:
+    """Everything one interleaving produced."""
+
+    scenario: str
+    trace: list[Decision]
+    #: Sparse non-default choices actually taken — the replayable trace.
+    choices: dict[int, int]
+    violations: list[str]
+    state: dict
+    state_hash: str
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class Chooser:
+    """Positional choice provider: ``{position: choice}``, default 0.
+
+    Positions index decision points in the order the run reaches them.
+    Because everything upstream of a decision is a deterministic
+    function of the earlier choices, a position means the same thing on
+    every run that shares the earlier choices — sparse traces replay
+    exactly.
+    """
+
+    def __init__(self, choices: Optional[dict[int, int]] = None) -> None:
+        self.choices = dict(choices or {})
+        self.trace: list[Decision] = []
+
+    def __call__(self, n: int, meta: dict) -> int:
+        position = len(self.trace)
+        choice = self.choices.get(position, 0)
+        if not 0 <= choice < n:
+            choice = 0
+        self.trace.append(Decision(n, choice, meta))
+        return choice
+
+    def taken(self) -> dict[int, int]:
+        return {
+            index: decision.chosen
+            for index, decision in enumerate(self.trace)
+            if decision.chosen != 0
+        }
+
+
+# -- the model objects --------------------------------------------------------
+
+BOX_CODE = '''
+def add(state, item):
+    state["items"] = state["items"] + [item]
+    return len(state["items"])
+
+def read(state):
+    return state["items"]
+'''
+
+BOX_INTERFACE = RDOInterface(
+    [MethodSpec("add", mutates=True), MethodSpec("read")]
+)
+
+NOTE_CODE = '''
+def read(state):
+    return state["text"]
+
+def set_text(state, text):
+    state["text"] = text
+    return text
+'''
+
+NOTE_INTERFACE = RDOInterface(
+    [MethodSpec("read"), MethodSpec("set_text", mutates=True)]
+)
+
+
+def make_box(authority: str, path: str = "check/box") -> RDO:
+    return RDO(
+        URN(authority, path),
+        "box",
+        {"items": []},
+        code=BOX_CODE,
+        interface=BOX_INTERFACE,
+    )
+
+
+def make_note(authority: str, path: str, text: str, pad: int = 0) -> RDO:
+    data: dict[str, Any] = {"text": text}
+    if pad:
+        data["pad"] = "x" * pad
+    return RDO(URN(authority, path), "note", data, code=NOTE_CODE, interface=NOTE_INTERFACE)
+
+
+# -- scenario skeleton --------------------------------------------------------
+
+
+class Scenario:
+    """One named workload + oracle; subclasses fill in the hooks."""
+
+    name = ""
+    description = ""
+    n_clients = 1
+    flap_choices = False
+    crash_budget = 0
+    dup_delay_s = 3.0
+    delay_s = 0.25
+    link_policy_factory: Optional[type] = None
+
+    # hooks -------------------------------------------------------------
+
+    def build(self) -> Any:
+        """Return a wired :class:`MultiClientTestbed`."""
+        raise NotImplementedError
+
+    def contention(self, ctx: dict) -> tuple[frozenset[str], frozenset[str]]:
+        """(contended urns, written urns) for commutativity pruning."""
+        raise NotImplementedError
+
+    def drive(self, bed: Any, harness: CheckHarness, ctx: dict) -> None:
+        raise NotImplementedError
+
+    def check(self, bed: Any, harness: CheckHarness, ctx: dict) -> list[str]:
+        raise NotImplementedError
+
+    # machinery ---------------------------------------------------------
+
+    def run(
+        self, chooser: Optional[Chooser] = None, pruning: bool = True
+    ) -> RunResult:
+        bed = self.build()
+        ctx: dict = {}
+        self.populate(bed, ctx)
+        contended, written = self.contention(ctx)
+        harness = CheckHarness(
+            bed.sim,
+            contended=contended,
+            written=written,
+            pruning=pruning,
+            flap_choices=self.flap_choices,
+            crash_budget=self.crash_budget,
+            dup_delay_s=self.dup_delay_s,
+            delay_s=self.delay_s,
+        )
+        install_injectors(harness, bed.network.links)
+        for stack in bed.clients:
+            # Fast virtual-time retries so every run settles quickly.
+            stack.scheduler.base_backoff = 0.05
+            stack.scheduler.max_backoff = 0.25
+            count_dispatch_while_down(harness, stack.transport)
+            stack.access.on_conflict(
+                lambda report, host=stack.host.name: harness.conflicts.append(
+                    (host, report.urn)
+                )
+            )
+            if self.crash_budget > 0:
+                arm_crash_points(harness, stack)
+        chooser = chooser if chooser is not None else Chooser()
+        bed.sim.decision_provider = chooser
+        self.drive(bed, harness, ctx)
+        accesses = [stack.access for stack in bed.clients]
+        violations = self.check(bed, harness, ctx)
+        state = oracle.terminal_state(bed.server, accesses, harness)
+        return RunResult(
+            scenario=self.name,
+            trace=list(chooser.trace),
+            choices=chooser.taken(),
+            violations=violations,
+            state=state,
+            state_hash=oracle.state_hash(state),
+            stats={
+                "decision_points": harness.decision_points,
+                "pruned_points": harness.pruned_points,
+                "dispatch_while_down": harness.dispatch_while_down,
+                "crashes": len(harness.crashes),
+                "virtual_time": bed.sim.now,
+            },
+        )
+
+    def populate(self, bed: Any, ctx: dict) -> None:
+        raise NotImplementedError
+
+    # shared driving helpers --------------------------------------------
+
+    def _drained(self, bed: Any) -> bool:
+        return all(
+            stack.access.pending_count() == 0 and stack.scheduler.idle()
+            for stack in bed.clients
+        )
+
+    def drain(self, bed: Any, timeout: float = 600.0) -> bool:
+        return bed.sim.run_until(lambda: self._drained(bed), timeout=timeout)
+
+    def settle(self, bed: Any, harness: CheckHarness, timeout: float = 600.0) -> None:
+        """Quiescence: drain, outwait every delayed replay, drain again."""
+        self.drain(bed, timeout)
+        tail = self.dup_delay_s + self.delay_s + harness.flap_heal_s + 2.0
+        bed.sim.run(until=bed.sim.now + tail)
+        self.drain(bed, timeout)
+
+
+# -- warm-import races --------------------------------------------------------
+
+
+class WarmImportScenario(Scenario):
+    """2–3 clients race imports and server-side appends on one object.
+
+    The richest pure-message-race suite: every request/reply frame of
+    the shared object can be dropped, duplicated (late replay) or
+    delayed.  The oracle demands the terminal item list be a legal
+    at-most-once merge of the clients' programs — a late duplicate of a
+    *settled* append that re-applies (the acknowledged-id-watermark
+    eviction bug) shows up as an item applied twice.
+    """
+
+    name = "warm-import"
+    description = "import + server-append races between clients on one object"
+    n_clients = 3
+    adds_pipelined = 6
+    adds_after_drain = 1
+
+    def build(self) -> Any:
+        return build_multi_client_testbed(self.n_clients, rpc_timeout_s=1.0)
+
+    def populate(self, bed: Any, ctx: dict) -> None:
+        box = make_box(bed.authority)
+        bed.server.put_object(box)
+        ctx["urn"] = str(box.urn)
+        # One private note per client: real traffic on uncontended
+        # objects, which pruning may soundly refuse to branch on.
+        ctx["private"] = {}
+        for stack in bed.clients:
+            note = make_note(bed.authority, f"check/{stack.host.name}", "hi")
+            bed.server.put_object(note)
+            ctx["private"][stack.host.name] = str(note.urn)
+
+    def contention(self, ctx: dict) -> tuple[frozenset[str], frozenset[str]]:
+        return frozenset({ctx["urn"]}), frozenset({ctx["urn"]})
+
+    def drive(self, bed: Any, harness: CheckHarness, ctx: dict) -> None:
+        urn = ctx["urn"]
+        issued: dict[str, list[str]] = {}
+        acked: set[str] = set()
+        ctx["issued"], ctx["acked"] = issued, acked
+        sessions = {}
+        for stack in bed.clients:
+            sessions[stack.host.name] = stack.access.create_session()
+            stack.access.import_(urn, session=sessions[stack.host.name])
+            stack.access.import_(
+                ctx["private"][stack.host.name], session=sessions[stack.host.name]
+            )
+        self.drain(bed)
+
+        def add(stack: Any, token: str) -> None:
+            issued.setdefault(stack.host.name, []).append(token)
+            stack.access.invoke_remote(
+                urn, "add", [token], session=sessions[stack.host.name]
+            ).then(lambda _value, t=token: acked.add(t))
+
+        for round_index in range(self.adds_pipelined):
+            for stack in bed.clients:
+                add(stack, f"{stack.host.name}-{round_index}")
+        self.drain(bed)
+        # Issued after the earlier appends settled client-side, these
+        # carry an acknowledged-id watermark past them — the envelope
+        # that lets the server prune its at-most-once cache.
+        for stack in bed.clients:
+            add(stack, f"{stack.host.name}-final")
+        self.settle(bed, harness)
+
+    def check(self, bed: Any, harness: CheckHarness, ctx: dict) -> list[str]:
+        accesses = [stack.access for stack in bed.clients]
+        violations = oracle.standard_checks(
+            bed.server,
+            accesses,
+            conflicted_hosts=frozenset(host for host, _ in harness.conflicts),
+        )
+        violations += oracle.durable_exactly_once(
+            bed.server, ctx["urn"], sorted(ctx["acked"]), field="items"
+        )
+        rdo = bed.server.get_object(ctx["urn"])
+        final_items = rdo.data.get("items", []) if rdo is not None else []
+        violations += oracle.check_sequential_append(
+            final_items, ctx["issued"], sorted(ctx["acked"])
+        )
+        if harness.dispatch_while_down:
+            violations.append(
+                f"{harness.dispatch_while_down} dispatches attempted while link down"
+            )
+        return violations
+
+
+# -- crash during queue drain -------------------------------------------------
+
+
+class CrashDrainScenario(WarmImportScenario):
+    """One client drains a queued backlog through crashes and link flaps.
+
+    Adds the crash choice at every stable-log record boundary and the
+    mid-transfer link-flap choice to the frame alternatives; the
+    scheduler runs with a window of one so a flapped transfer leaves
+    parked messages behind it (the stale-route-cache window).
+    """
+
+    name = "crash-during-drain"
+    description = "single client: crash at log-flush boundaries, flap mid-transfer"
+    n_clients = 1
+    adds_pipelined = 3
+    adds_after_drain = 0
+    flap_choices = True
+    crash_budget = 1
+
+    def build(self) -> Any:
+        # The 14.4k dial-up link makes transmit time dominate the log
+        # flush, so later appends genuinely queue behind an in-flight
+        # one (a window of one) — the backlog a mid-transfer flap
+        # strands, and the state the stale-route-cache bug needs.
+        bed = build_multi_client_testbed(
+            self.n_clients,
+            link_spec=CSLIP_14_4,
+            policies=[SwitchablePolicy() for _ in range(self.n_clients)],
+            rpc_timeout_s=2.0,
+        )
+        for stack in bed.clients:
+            stack.scheduler.max_inflight = 1
+        return bed
+
+    def drive(self, bed: Any, harness: CheckHarness, ctx: dict) -> None:
+        urn = ctx["urn"]
+        issued: dict[str, list[str]] = {}
+        acked: set[str] = set()
+        ctx["issued"], ctx["acked"] = issued, acked
+        stack = bed.clients[0]
+        session = stack.access.create_session()
+        stack.access.import_(urn, session=session)
+        self.drain(bed)
+        for index in range(self.adds_pipelined):
+            token = f"{stack.host.name}-{index}"
+            issued.setdefault(stack.host.name, []).append(token)
+            # The stack's access manager is replaced on crash; late
+            # promises from a dead incarnation simply never ack.
+            stack.access.invoke_remote(urn, "add", [token], session=session).then(
+                lambda _value, t=token: acked.add(t)
+            )
+        self.settle(bed, harness)
+
+    def check(self, bed: Any, harness: CheckHarness, ctx: dict) -> list[str]:
+        violations = super().check(bed, harness, ctx)
+        return violations
+
+
+# -- conflict-resolve vs concurrent export ------------------------------------
+
+
+class ConflictExportScenario(Scenario):
+    """Two clients export conflicting updates to one unresolvable object.
+
+    Exactly one export must commit and exactly one must be reported as
+    a conflict, whatever the interleaving; faults must not double-count
+    either outcome or leave a winner tentative.
+    """
+
+    name = "conflict-export"
+    description = "concurrent conflicting exports; exactly one commit, one conflict"
+    n_clients = 2
+
+    def build(self) -> Any:
+        return build_multi_client_testbed(self.n_clients, rpc_timeout_s=1.0)
+
+    def populate(self, bed: Any, ctx: dict) -> None:
+        note = make_note(bed.authority, "check/shared-note", "start")
+        bed.server.put_object(note)
+        ctx["urn"] = str(note.urn)
+
+    def contention(self, ctx: dict) -> tuple[frozenset[str], frozenset[str]]:
+        return frozenset({ctx["urn"]}), frozenset({ctx["urn"]})
+
+    def drive(self, bed: Any, harness: CheckHarness, ctx: dict) -> None:
+        urn = ctx["urn"]
+        ctx["values"] = {}
+        sessions = {}
+        for stack in bed.clients:
+            sessions[stack.host.name] = stack.access.create_session()
+            stack.access.import_(urn, session=sessions[stack.host.name])
+        self.drain(bed)
+        for stack in bed.clients:
+            value = f"from-{stack.host.name}"
+            ctx["values"][stack.host.name] = value
+            stack.access.invoke(
+                urn, "set_text", value, session=sessions[stack.host.name]
+            )
+        self.settle(bed, harness)
+
+    def check(self, bed: Any, harness: CheckHarness, ctx: dict) -> list[str]:
+        accesses = [stack.access for stack in bed.clients]
+        conflicted = frozenset(host for host, _ in harness.conflicts)
+        violations = oracle.standard_checks(
+            bed.server, accesses, conflicted_hosts=conflicted
+        )
+        rdo = bed.server.get_object(ctx["urn"])
+        text = rdo.data.get("text") if rdo is not None else None
+        legal = set(ctx["values"].values())
+        if text not in legal:
+            violations.append(f"server text {text!r} not among exports {sorted(legal)}")
+        if bed.server.exports_committed != 1:
+            violations.append(
+                f"{bed.server.exports_committed} exports committed (expected exactly 1)"
+            )
+        if len(conflicted) != 1:
+            violations.append(
+                f"conflicts reported to {sorted(conflicted)} (expected exactly one loser)"
+            )
+        return violations
+
+
+# -- delta-ship negotiation ---------------------------------------------------
+
+
+class DeltaShipScenario(Scenario):
+    """Single writer with delta shipping on and a tiny at-most-once cache.
+
+    A single sequential writer must never see a conflict — but a late
+    replay of an export whose cached reply was evicted re-negotiates
+    against the object's own history and, without the committer index,
+    manufactures one.  The small ``applied_cache_cap`` makes the
+    eviction reachable within a depth-2 trace.
+    """
+
+    name = "delta-ship"
+    description = "delta-shipped exports + warm re-import under a tiny applied cache"
+    n_clients = 1
+    crash_budget = 1
+    edits = 3
+
+    def build(self) -> Any:
+        bed = build_multi_client_testbed(
+            self.n_clients, rpc_timeout_s=1.0, delta_shipping=True
+        )
+        bed.server.applied_cache_cap = 2
+        return bed
+
+    def populate(self, bed: Any, ctx: dict) -> None:
+        note = make_note(bed.authority, "check/padded-note", "v0", pad=400)
+        bed.server.put_object(note)
+        ctx["urn"] = str(note.urn)
+
+    def contention(self, ctx: dict) -> tuple[frozenset[str], frozenset[str]]:
+        return frozenset({ctx["urn"]}), frozenset({ctx["urn"]})
+
+    def drive(self, bed: Any, harness: CheckHarness, ctx: dict) -> None:
+        urn = ctx["urn"]
+        stack = bed.clients[0]
+        session = stack.access.create_session()
+        stack.access.import_(urn, session=session)
+        self.drain(bed)
+        for index in range(1, self.edits + 1):
+            # Local edit marks the copy tentative and auto-queues an
+            # export; draining between edits keeps each export a clean
+            # fast-forward (this writer can never legitimately conflict).
+            try:
+                stack.access.invoke(urn, "set_text", f"v{index}", session=session)
+            except AccessManagerError:
+                # A crash choice wiped the warm cache (imports are not
+                # durable; only queued exports replay from the stable
+                # log).  Recover the way a real client does: fresh
+                # session, re-import, retry the edit.
+                session = stack.access.create_session()
+                stack.access.import_(urn, session=session)
+                self.drain(bed)
+                stack.access.invoke(urn, "set_text", f"v{index}", session=session)
+            self.drain(bed)
+        stack.access.import_(urn, session=session, refresh=True)
+        self.settle(bed, harness)
+        ctx["final"] = f"v{self.edits}"
+
+    def check(self, bed: Any, harness: CheckHarness, ctx: dict) -> list[str]:
+        accesses = [stack.access for stack in bed.clients]
+        violations = oracle.standard_checks(bed.server, accesses)
+        if bed.server.exports_conflicted or harness.conflicts:
+            violations.append(
+                "single sequential writer saw a conflict "
+                f"(server counted {bed.server.exports_conflicted}, "
+                f"clients saw {harness.conflicts})"
+            )
+        rdo = bed.server.get_object(ctx["urn"])
+        text = rdo.data.get("text") if rdo is not None else None
+        if text != ctx["final"]:
+            violations.append(
+                f"server text {text!r} != last committed edit {ctx['final']!r}"
+            )
+        if harness.dispatch_while_down:
+            violations.append(
+                f"{harness.dispatch_while_down} dispatches attempted while link down"
+            )
+        return violations
+
+
+SCENARIOS: dict[str, type[Scenario]] = {
+    scenario.name: scenario
+    for scenario in (
+        WarmImportScenario,
+        CrashDrainScenario,
+        ConflictExportScenario,
+        DeltaShipScenario,
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

@@ -99,6 +99,17 @@ class RoverServer:
         self.rdos_rejected = 0
         self.history_limit = history_limit
         self._history: dict[str, list[tuple[int, Any]]] = {}
+        #: urn -> {request_id: original reply} for updates that made it
+        #: into the store.  The at-most-once reply cache is bounded and
+        #: volatile; this index is the durable backstop that keeps a
+        #: replayed-but-evicted update from re-negotiating against
+        #: version history (and manufacturing a conflict for a client
+        #: that never had one).  It must hold the *original* reply —
+        #: a "resolved" reply carries the merged value the client still
+        #: has to apply; answering a replay with a bare "committed"
+        #: would let the client's next export overwrite the merge.
+        #: Pruned alongside ``_history`` (same per-urn depth).
+        self._committed_replies: dict[str, OrderedDict[str, dict]] = {}
         #: At-most-once replies, LRU-ordered.  Two bounds keep it from
         #: growing forever: clients piggyback an acknowledged-id
         #: watermark on QRPC envelopes (entries below it are settled and
@@ -209,6 +220,9 @@ class RoverServer:
                 {
                     "store": {k: list(self.store.get(k)) for k in self.store.keys()},
                     "history": {k: list(v) for k, v in self._history.items()},
+                    "committed_replies": {
+                        k: list(v.items()) for k, v in self._committed_replies.items()
+                    },
                 }
             )
         )
@@ -221,6 +235,11 @@ class RoverServer:
         self._history = {
             key: [(version, data) for version, data in entries]
             for key, entries in snapshot["history"].items()
+        }
+        # Older snapshots predate the committer index; default empty.
+        self._committed_replies = {
+            key: OrderedDict((request_id, reply) for request_id, reply in entries)
+            for key, entries in snapshot.get("committed_replies", {}).items()
         }
         self._applied.clear()  # volatile: lost in the crash
         self._locks.clear()    # leases do not survive a restart
@@ -241,6 +260,24 @@ class RoverServer:
         if len(history) > self.history_limit:
             del history[: len(history) - self.history_limit]
 
+    def _remember_committed(
+        self, urn: str, request_id: Optional[str], reply: dict
+    ) -> None:
+        if request_id is None:
+            return
+        committed = self._committed_replies.setdefault(urn, OrderedDict())
+        committed[request_id] = reply
+        committed.move_to_end(request_id)
+        while len(committed) > self.history_limit:
+            committed.popitem(last=False)
+
+    def _committed_replay(
+        self, urn: str, request_id: Optional[str]
+    ) -> Optional[dict]:
+        if request_id is None:
+            return None
+        return self._committed_replies.get(urn, {}).get(request_id)
+
     def _base_data(self, urn: str, version: int) -> Optional[Any]:
         for stored_version, data in self._history.get(urn, []):
             if stored_version == version:
@@ -256,7 +293,25 @@ class RoverServer:
         if reply is not None:
             self._applied.move_to_end(request_id)
             self.duplicates_suppressed += 1
-        return reply
+            return reply
+        # Watermark floor: a counter below the sender's own acknowledged
+        # watermark names a request whose reply the client has already
+        # processed — only a delayed duplicate frame can still carry it.
+        # Its cached reply was (correctly) pruned, so without this guard
+        # the duplicate would be APPLIED AGAIN.  The eviction the
+        # watermark licenses is only sound if the watermark itself keeps
+        # deduplicating the evicted ids.
+        prefix, sep, tail = request_id.rpartition("/")
+        if not sep:
+            return None
+        try:
+            counter = int(tail)
+        except ValueError:
+            return None
+        if counter < self._client_watermarks.get(prefix, -1):
+            self.duplicates_suppressed += 1
+            return {"status": "duplicate", "request_id": request_id}
+        return None
 
     def _record_reply(self, request_id: Optional[str], reply: dict) -> dict:
         if request_id is not None:
@@ -354,6 +409,17 @@ class RoverServer:
         if cached is not None:
             return cached
         urn = body["urn"]
+        replayed = self._committed_replay(urn, request_id)
+        if replayed is not None:
+            # Already applied, cached reply since evicted (or lost in a
+            # restart).  Answering from current state would re-negotiate
+            # the export against version history — a base the server may
+            # have GC'd, turning a clean replay into need-full and then
+            # a manufactured conflict.  Replaying the original reply is
+            # the only sound answer: a "resolved" reply carries a merged
+            # value the client must still apply.
+            self.duplicates_suppressed += 1
+            return self._record_reply(request_id, replayed)
         base_version = int(body.get("base_version", 0))
         client_data = body.get("data")
         if "delta" in body and "data" not in body:
@@ -394,9 +460,9 @@ class RoverServer:
             self._remember(urn, new_version, client_data)
             self.exports_committed += 1
             self._notify_subscribers(urn, new_version, except_host=source[0])
-            return self._record_reply(
-                request_id, {"status": "committed", "version": new_version}
-            )
+            reply = {"status": "committed", "version": new_version}
+            self._remember_committed(urn, request_id, reply)
+            return self._record_reply(request_id, reply)
 
         # Concurrent update: attempt type-specific resolution.
         type_name = wire.get("type", "")
@@ -411,15 +477,14 @@ class RoverServer:
             self._remember(urn, new_version, resolution.merged_value)
             self.exports_resolved += 1
             self._notify_subscribers(urn, new_version, except_host=source[0])
-            return self._record_reply(
-                request_id,
-                {
-                    "status": "resolved",
-                    "version": new_version,
-                    "value": resolution.merged_value,
-                    "detail": resolution.detail,
-                },
-            )
+            reply = {
+                "status": "resolved",
+                "version": new_version,
+                "value": resolution.merged_value,
+                "detail": resolution.detail,
+            }
+            self._remember_committed(urn, request_id, reply)
+            return self._record_reply(request_id, reply)
 
         self.exports_conflicted += 1
         report = ConflictReport(
@@ -443,6 +508,12 @@ class RoverServer:
         if cached is not None:
             return cached
         urn = body["urn"]
+        replayed = self._committed_replay(urn, request_id)
+        if replayed is not None:
+            # A mutating invoke that already applied must not run again
+            # (at-most-once); replay the original reply, result included.
+            self.duplicates_suppressed += 1
+            return self._record_reply(request_id, replayed)
         method = body["method"]
         args = body.get("args", [])
         rdo = self.get_object(urn)
@@ -458,6 +529,7 @@ class RoverServer:
             self.store.get_value(urn)["version"] = new_version
             self._remember(urn, new_version, wire["data"])
             reply["version"] = new_version
+            self._remember_committed(urn, request_id, reply)
             self._notify_subscribers(urn, new_version, except_host=source[0])
         self._record_reply(request_id, reply)
         return DelayedReply(self.cost_model.invoke_time(steps), reply)

@@ -566,6 +566,11 @@ class NetworkScheduler:
 
         def on_error(reason: str) -> None:
             release_slot()
+            # A failure *during* transmit (Link.fail_inflight) surfaces
+            # here before the link's transition listeners run, so the
+            # memoized route may still point at the dead link — drop it
+            # or the pump below re-dispatches straight into the outage.
+            self._route_cache.clear()
             for message in batch:
                 if message.state not in ("inflight", "accepted"):
                     continue
@@ -666,6 +671,10 @@ class NetworkScheduler:
             if message.state not in ("inflight", "accepted"):
                 return
             release_slot()
+            # See _dispatch_batch.on_error: mid-transmit failures reach
+            # this callback before any up/down transition listener, so
+            # the cached route for this destination may be dead.
+            self._route_cache.clear()
             if message.attempts >= self.max_attempts:
                 message.state = "done"
                 self._active.discard(message)

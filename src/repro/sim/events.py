@@ -76,11 +76,39 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        #: Pluggable resolver for enumerable decision points (see
+        #: :meth:`decide`).  ``None`` means every decision takes its
+        #: first alternative — the plain deterministic run.
+        self.decision_provider: Optional[Callable[[int, dict], int]] = None
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def decide(self, n_alternatives: int, meta: Optional[dict] = None) -> int:
+        """Resolve an enumerable decision point.
+
+        Components with several legal behaviours at one instant (deliver
+        vs. drop a frame, crash vs. survive a log flush) call this
+        instead of drawing from an RNG.  With no
+        :attr:`decision_provider` installed the first alternative (index
+        0, the fault-free default) is always taken, so ordinary runs
+        stay bit-for-bit deterministic and fault-free.  A model checker
+        (:mod:`repro.check`) installs a provider that enumerates the
+        alternatives systematically.
+
+        ``meta`` describes the decision point (for pruning and trace
+        readability); it is advisory and must not affect semantics.
+        """
+        if n_alternatives <= 1 or self.decision_provider is None:
+            return 0
+        choice = self.decision_provider(n_alternatives, meta or {})
+        if not 0 <= choice < n_alternatives:
+            raise SimulationError(
+                f"decision provider chose {choice} of {n_alternatives} alternatives"
+            )
+        return choice
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""

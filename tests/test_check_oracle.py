@@ -1,0 +1,73 @@
+"""Unit tests for the checker's sequential oracle (repro.check.oracle)."""
+
+import pytest
+
+from repro.check.oracle import check_sequential_append, state_hash
+
+
+ISSUED = {"c1": ["c1-0", "c1-1"], "c2": ["c2-0"]}
+
+
+def items(*tokens):
+    return [{"id": token} for token in tokens]
+
+
+def test_legal_merge_passes():
+    violations = check_sequential_append(
+        items("c1-0", "c2-0", "c1-1"), ISSUED, acked={"c1-0", "c1-1", "c2-0"}
+    )
+    assert violations == []
+
+
+def test_unissued_token_flagged():
+    violations = check_sequential_append(items("ghost"), ISSUED, acked=set())
+    assert any("no client issued" in v for v in violations)
+
+
+def test_duplicate_application_flagged():
+    violations = check_sequential_append(
+        items("c1-0", "c1-0"), ISSUED, acked=set()
+    )
+    assert any("at-most-once broken" in v for v in violations)
+
+
+def test_lost_acked_update_flagged():
+    violations = check_sequential_append(items("c1-0"), ISSUED, acked={"c2-0"})
+    assert any("lost at server" in v for v in violations)
+
+
+def test_unacked_missing_token_is_legal():
+    # An update the client never saw acknowledged may legitimately be
+    # absent (dropped before the server, client gave up).
+    assert check_sequential_append(items("c1-0"), ISSUED, acked={"c1-0"}) == []
+
+
+def test_reorder_within_client_legal_by_default():
+    # QRPC ids are order-independent (docs/ROBUSTNESS.md): a timed-out
+    # request re-enters the queue behind younger ones, so commit order
+    # may break issue order without breaking the protocol.
+    violations = check_sequential_append(
+        items("c1-1", "c1-0"), ISSUED, acked={"c1-0", "c1-1"}
+    )
+    assert violations == []
+
+
+def test_reorder_flagged_when_order_required():
+    violations = check_sequential_append(
+        items("c1-1", "c1-0"), ISSUED, acked=set(), require_order=True
+    )
+    assert any("breaks issue order" in v for v in violations)
+
+
+def test_plain_tokens_supported():
+    assert check_sequential_append(["c1-0"], ISSUED, acked={"c1-0"}) == []
+
+
+def test_state_hash_stable_and_distinct():
+    a = {"server": {"u": {"version": 1, "data": "x"}}, "clients": [], "conflicts": []}
+    b = {"server": {"u": {"version": 2, "data": "x"}}, "clients": [], "conflicts": []}
+    assert state_hash(a) == state_hash(dict(a))
+    assert state_hash(a) != state_hash(b)
+    # Key order must not matter: hashing is over canonical JSON.
+    reordered = {"conflicts": [], "clients": [], "server": {"u": {"data": "x", "version": 1}}}
+    assert state_hash(a) == state_hash(reordered)
