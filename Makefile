@@ -1,7 +1,7 @@
 PYTHON ?= python
 CHAOS_SEED ?= 0
 
-.PHONY: install test lint bench tables chaos check perf demo examples clean
+.PHONY: install test lint bench tables chaos check perf fleet demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -34,6 +34,13 @@ check:
 perf:
 	$(PYTHON) -m pytest -q benchmarks/test_e14_wire.py benchmarks/test_micro_primitives.py --benchmark-only
 	$(PYTHON) scripts/check_e14_regression.py
+
+# Fleet telemetry: unit/integration suite plus the E15 overhead +
+# exactness gate at CI scale (docs/OBSERVABILITY.md).
+fleet:
+	$(PYTHON) -m pytest -q tests/test_fleet_sketch.py tests/test_fleet_pipeline.py \
+		tests/test_fleet_health.py tests/test_fleet_chaos.py
+	$(PYTHON) scripts/check_e15_regression.py
 
 demo:
 	$(PYTHON) -m repro

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""E15 regression gate: the telemetry tax must not creep back up.
+
+Re-runs the E15 fleet driver at a reduced, deterministic scale (the
+full benchmark's thousand clients would be CI-hostile; the per-client
+byte economics are scale-invariant) and compares each config row
+against the committed ``BENCH_E15.json`` baseline:
+
+* attributed overhead beyond the baseline by more than the tolerance
+  fails, as does crossing the absolute 5% acceptance bar;
+* any inexact aggregation (totals != ground truth) fails outright;
+* an open sequence gap after the drain fails outright.
+
+Usage:
+    PYTHONPATH=src python scripts/check_e15_regression.py
+    PYTHONPATH=src python scripts/check_e15_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+TOLERANCE = 0.10        # >10% relative overhead growth per row fails
+ABSOLUTE_LIMIT_PCT = 5.0  # the E15 acceptance bar, enforced always
+
+#: Gate scale: small enough for CI, large enough to cover every link
+#: class (120 = 30 clients per class) and the fold/dup/reorder paths.
+GATE_CLIENTS = 120
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_E15.json")
+
+
+def current_rows() -> list[dict]:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.bench.experiments import run_e15_fleet
+
+    rows = run_e15_fleet(n_clients=GATE_CLIENTS)
+    # The baseline pins what the gate compares, nothing more.
+    return [
+        {
+            "config": r["config"],
+            "clients": r["clients"],
+            "telemetry_bytes": r["telemetry_bytes"],
+            "foreground_bytes": r["foreground_bytes"],
+            "overhead_pct": r["overhead_pct"],
+            "reports_sent": r["reports_sent"],
+            "duplicates": r["duplicates"],
+            "open_gaps": r["open_gaps"],
+            "exact": r["exact"],
+        }
+        for r in rows
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite BENCH_E15.json from the current run",
+    )
+    args = parser.parse_args()
+
+    rows = current_rows()
+    if args.update:
+        with open(BASELINE_PATH, "w") as f:
+            json.dump(rows, f, indent=2)
+            f.write("\n")
+        print(f"wrote {len(rows)} baseline rows to {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(f"missing baseline {BASELINE_PATH}; run with --update first",
+              file=sys.stderr)
+        return 2
+    with open(BASELINE_PATH) as f:
+        baseline = {r["config"]: r for r in json.load(f)}
+
+    failures = []
+    for row in rows:
+        config = row["config"]
+        base = baseline.get(config)
+        if base is None:
+            failures.append(f"{config}: no baseline row (run --update)")
+            continue
+        if not row["exact"]:
+            failures.append(f"{config}: aggregation no longer exact")
+        if row["open_gaps"]:
+            failures.append(f"{config}: {row['open_gaps']} open gap(s)")
+        status = "ok"
+        if config != "clean":
+            allowed = base["overhead_pct"] * (1.0 + TOLERANCE)
+            if row["overhead_pct"] > allowed:
+                status = "REGRESSION"
+                failures.append(
+                    f"{config}: overhead {row['overhead_pct']:.3f}% exceeds "
+                    f"baseline {base['overhead_pct']:.3f}% by more than "
+                    f"{TOLERANCE:.0%} (allowed {allowed:.3f}%)"
+                )
+            if row["overhead_pct"] > ABSOLUTE_LIMIT_PCT:
+                status = "REGRESSION"
+                failures.append(
+                    f"{config}: overhead {row['overhead_pct']:.3f}% crosses "
+                    f"the {ABSOLUTE_LIMIT_PCT}% acceptance bar"
+                )
+        print(
+            f"{config:18s} overhead {row['overhead_pct']:>7.3f}% "
+            f"(baseline {base['overhead_pct']:>7.3f}%)  "
+            f"exact={row['exact']}  {status}"
+        )
+
+    missing = set(baseline) - {r["config"] for r in rows}
+    for config in sorted(missing):
+        failures.append(f"{config}: baseline row no longer produced")
+
+    if failures:
+        print("\nE15 regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nE15 regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -224,6 +224,18 @@ def _e14() -> str:
     )
 
 
+def _e15() -> str:
+    rows = E.run_e15_fleet()
+    return format_table(
+        "E15 - fleet telemetry: shipping overhead + aggregation exactness",
+        ["config", "clients", "wire bytes", "telemetry", "overhead",
+         "sent", "acked", "dups", "gaps", "exact"],
+        [[r["config"], r["clients"], r["wire_bytes"], r["telemetry_bytes"],
+          f"{r['overhead_pct']:.2f}%", r["reports_sent"], r["reports_acked"],
+          r["duplicates"], r["open_gaps"], r["exact"]] for r in rows],
+    )
+
+
 def _f1() -> str:
     rows = E.run_f1_size_sweep()
     return format_table(
@@ -270,6 +282,7 @@ EXPERIMENTS = {
     "e12": _e12,
     "e13": _e13,
     "e14": _e14,
+    "e15": _e15,
     "f1": _f1,
     "f2": _f2,
     "f3": _f3,
@@ -289,6 +302,7 @@ RAW = {
     "e11": lambda: E.run_e11_batching(),
     "e13": lambda: E.run_e13_chaos(),
     "e14": lambda: E.run_e14_wire(),
+    "e15": lambda: E.run_e15_fleet(),
     "f1": lambda: E.run_f1_size_sweep(),
     "f2": lambda: E.run_f2_availability(),
     "f3": lambda: E.run_f3_shared_cell(),

@@ -1206,3 +1206,75 @@ def run_e14_wire(
         for compaction, delta in ((False, False), (True, False), (True, True)):
             rows.append(_e14_one(link_spec, compaction, delta, seed=seed))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# E15 — fleet telemetry: shipping overhead and aggregation exactness
+# ---------------------------------------------------------------------------
+
+
+def _e15_row(config: str, result) -> dict:
+    """Flatten one fleet run into a benchmark row."""
+    agg = result.aggregator
+    row = {
+        "config": config,
+        "clients": result.scenario.n_clients,
+        "wire_bytes": result.wire_bytes,
+        "foreground_bytes": result.foreground_bytes,
+        "telemetry_bytes": result.telemetry_bytes,
+        "overhead_pct": round(result.overhead_pct, 3),
+        "reports_sent": result.reports_sent,
+        "reports_acked": result.reports_acked,
+        "reports_reshipped": result.reports_reshipped,
+        "exact": result.exact,
+        "mismatched": len(result.mismatched_clients),
+        "duplicates": 0,
+        "open_gaps": 0,
+        "late": 0,
+        "unhealthy": 0,
+    }
+    if agg is not None:
+        summary = agg.summary()
+        row["duplicates"] = summary["duplicates"]
+        row["open_gaps"] = summary["open_gaps"]
+        row["late"] = summary["late"]
+        row["unhealthy"] = summary["unhealthy"]
+    return row
+
+
+def run_e15_fleet(
+    n_clients: int = 1000,
+    seed: int = 0,
+    horizon_s: float = 600.0,
+    report_interval_s: float = 60.0,
+) -> list[dict]:
+    """Fleet telemetry at scale: overhead and exactness, clean and chaotic.
+
+    Three runs over the mixed link population (Ethernet / WaveLAN /
+    14.4K CSLIP / cycling 2.4K CSLIP): a telemetry-off control, the
+    telemetry run, and the telemetry run under the E15 chaos plan
+    (lossy link windows plus a server outage).  The overhead gate is
+    the *attributed* telemetry share of the telemetry run's wire
+    bytes — see :mod:`repro.obs.fleet.sim` for why the raw A/B delta
+    is not the tax.  Exactness means the aggregator's per-client
+    counter totals equal each client's ground-truth registry captured
+    at the horizon.
+    """
+    from repro.obs.fleet.sim import FleetScenario, run_overhead
+
+    scenario = FleetScenario(
+        n_clients=n_clients,
+        seed=seed,
+        horizon_s=horizon_s,
+        report_interval_s=report_interval_s,
+    )
+    pair = run_overhead(scenario, with_chaos=True)
+    rows = [
+        _e15_row("clean", pair.clean),
+        _e15_row("telemetry", pair.telemetry),
+        _e15_row("telemetry+chaos", pair.chaos),
+    ]
+    rows[0]["ab_delta_bytes"] = 0
+    rows[1]["ab_delta_bytes"] = pair.ab_delta_bytes
+    rows[2]["ab_delta_bytes"] = pair.chaos.wire_bytes - pair.clean.wire_bytes
+    return rows

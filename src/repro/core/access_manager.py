@@ -443,6 +443,67 @@ class AccessManager:
         self._log_and_submit(request, session)
         return promise
 
+    # -- fleet telemetry ----------------------------------------------------------
+
+    def telemetry(
+        self,
+        authority: str,
+        report: dict,
+        priority: Priority = Priority.BACKGROUND,
+    ) -> Promise:
+        """Queue a telemetry report toward ``authority``'s fleet aggregator.
+
+        Telemetry dogfoods the toolkit (see :mod:`repro.obs.fleet`):
+        the report is logged like any QRPC so it survives crashes and
+        disconnection, drains at background priority so it never
+        starves foreground traffic, and successive undelivered reports
+        on the per-client telemetry URN fold into one through the
+        compaction engine's ``TelemetryFold`` rule.
+        """
+        if authority not in self.servers:
+            raise AccessManagerError(f"unknown authority {authority!r}")
+        request = self._new_request(
+            Operation.TELEMETRY,
+            f"urn:rover:{authority}/__telemetry__",
+            args=dict(report),
+            session=None,
+            priority=priority,
+        )
+        promise = Promise(label=f"telemetry seq {report.get('q')}")
+        self._promises[request.request_id] = promise
+        self._log_and_submit(request, None)
+        return promise
+
+    def add_compaction_rule(self, rule: Any) -> None:
+        """Register an extra pair rule at runtime (e.g. the telemetry fold).
+
+        The rule lands on :attr:`compactor` — the object crash
+        recovery hands to the reborn manager — so it survives client
+        crashes; the private engine (and, when compaction was off, the
+        drain hook) is set up on first use.
+        """
+        if self.compactor is None:
+            self.compactor = Compactor()
+        self.compactor.add_pair_rule(rule)
+        if self._engine is None:
+            engine = Compactor()
+            engine.pair_rules = list(self.compactor.pair_rules)
+            engine.rewrite_rules = list(self.compactor.rewrite_rules)
+            engine.add_rewrite_rule(CallableRewrite(self._refresh_export))
+            self._engine = engine
+            self.scheduler.add_drain_hook(self.compact_now)
+        else:
+            self._engine.add_pair_rule(rule)
+
+    def _apply_telemetry(
+        self, request: QRPCRequest, session: Optional[Session], reply: dict
+    ) -> None:
+        promise = self._take_promise(request)
+        if reply.get("status") != "ok":
+            promise.reject(reply.get("status", "error"))
+            return
+        promise.resolve(reply)
+
     # -- load: import + immediate invocation ------------------------------------
 
     def load(
@@ -750,7 +811,7 @@ class AccessManager:
             body["session"] = request.session_id
         if self.auth_token:
             body["auth"] = self.auth_token
-        if request.operation is Operation.SHIP:
+        if request.operation in (Operation.SHIP, Operation.TELEMETRY):
             body.pop("urn", None)
         if (
             self.delta_shipping
@@ -873,6 +934,7 @@ class AccessManager:
             Operation.SUBSCRIBE: self._apply_subscribe,
             Operation.LOCK: self._apply_lock,
             Operation.UNLOCK: self._apply_lock,
+            Operation.TELEMETRY: self._apply_telemetry,
         }[request.operation]
         handler(request, session, reply)
 

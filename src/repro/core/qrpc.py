@@ -29,6 +29,7 @@ class Operation(str, Enum):
     SUBSCRIBE = "subscribe" # register for invalidation callbacks
     LOCK = "lock"           # acquire an application-level lease
     UNLOCK = "unlock"       # release an application-level lease
+    TELEMETRY = "telemetry" # ship a fleet telemetry report (repro.obs.fleet)
 
     def __str__(self) -> str:  # keep wire format compact/readable
         return self.value
@@ -57,6 +58,7 @@ SERVICE_BY_OPERATION = {
     Operation.SUBSCRIBE: "rover.subscribe",
     Operation.LOCK: "rover.lock",
     Operation.UNLOCK: "rover.unlock",
+    Operation.TELEMETRY: "rover.telemetry",
 }
 
 

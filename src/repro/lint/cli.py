@@ -35,6 +35,8 @@ DEFAULT_RDO_MODULES = (
     "repro.apps.calendar",
     "repro.apps.webproxy",
     "repro.bench.experiments",
+    "repro.obs.fleet.admin",
+    "repro.obs.fleet.sim",
 )
 
 

@@ -25,6 +25,7 @@ import heapq
 from enum import IntEnum
 from typing import Any, Callable, Optional
 
+from repro.net.message import marshalled_size
 from repro.net.simnet import Host, Link
 from repro.net.transport import RpcError, Transport
 from repro.obs import Observatory
@@ -257,6 +258,15 @@ class NetworkScheduler:
             "sched_queue_wait_seconds",
             "Time from enqueue (or requeue) to dispatch",
             labelnames=("host", "priority"),
+        )
+        #: Dispatched request payload bytes attributed to their service
+        #: (retransmissions re-count: this is wire cost, not goodput).
+        #: How fleet telemetry (E15) proves its overhead share without
+        #: needing a telemetry-free control run.
+        self._m_service_bytes = registry.counter(
+            "sched_service_bytes_total",
+            "Dispatched request payload bytes by service",
+            labelnames=("host", "service"),
         )
         for priority in Priority:
             gauge = registry.gauge(
@@ -605,6 +615,9 @@ class NetworkScheduler:
         self._m_queue_wait.labels(
             host=self.host.name, priority=message.priority.name.lower()
         ).observe(waited)
+        self._m_service_bytes.labels(
+            host=self.host.name, service=message.service
+        ).inc(marshalled_size(message.body))
         if self.tracer.enabled and message.trace is not None:
             self.tracer.record(
                 "queue.wait",

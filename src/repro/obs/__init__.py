@@ -59,10 +59,27 @@ class Observatory:
         return self.tracer.spans
 
     def snapshot(self) -> dict[str, float]:
+        """Flat series view; histograms include ``_p50/_p95/_p99``."""
         return self.registry.snapshot()
 
-    def summary_table(self) -> str:
-        return export.summary_table(self.tracer.spans)
+    def summary_table(self, include_metrics: bool = True) -> str:
+        """Span-stage summary plus (by default) histogram percentiles.
+
+        The trace table attributes time to pipeline stages; the
+        histogram section reports count/sum/p50/p95/p99 per labelled
+        series — the local twin of the fleet rollups
+        (:mod:`repro.obs.fleet`), so one client's view matches what
+        the aggregator reconstructs from its shipped sketches.
+        """
+        table = export.summary_table(self.tracer.spans)
+        if not include_metrics:
+            return table
+        metrics = export.histogram_table(self.registry)
+        if not metrics:
+            return table
+        if table == "(no spans recorded)":
+            return metrics
+        return f"{table}\n\n{metrics}"
 
 
 _capture: Optional[Observatory] = None

@@ -215,3 +215,68 @@ def stage_lanes(
         for column in range(first, last + 1):
             cells[column] = "#"
     return {name: "".join(cells) for name, cells in sorted(lanes.items())}
+
+
+# ---------------------------------------------------------------------------
+# Histogram percentile table
+# ---------------------------------------------------------------------------
+
+
+def histogram_rows(registry) -> list[dict]:
+    """Per-series percentile rows for every non-empty histogram.
+
+    The local-view twin of the fleet rollups: each labelled histogram
+    series reports count, sum, and exact p50/p95/p99 so a single
+    client's latency view matches what the aggregator derives from its
+    shipped sketches.
+    """
+    from repro.obs.metrics import HistogramChild, format_series
+
+    rows = []
+    for metric in sorted(registry.metrics(), key=lambda m: m.name):
+        for key, child in sorted(metric.children()):
+            if not isinstance(child, HistogramChild) or not child.count:
+                continue
+            rows.append(
+                {
+                    "series": format_series(metric.name, metric.labelnames, key),
+                    "count": child.count,
+                    "sum_s": child.sum,
+                    "p50_s": child.percentile(50),
+                    "p95_s": child.percentile(95),
+                    "p99_s": child.percentile(99),
+                }
+            )
+    return rows
+
+
+def histogram_table(registry) -> str:
+    """Render :func:`histogram_rows` as an aligned plain-text table.
+
+    Returns ``""`` when the registry holds no non-empty histogram.
+    """
+    rows = histogram_rows(registry)
+    if not rows:
+        return ""
+    header = ["series", "count", "sum", "p50", "p95", "p99"]
+    body = [
+        [
+            row["series"],
+            str(row["count"]),
+            _format_seconds(row["sum_s"]),
+            _format_seconds(row["p50_s"]),
+            _format_seconds(row["p95_s"]),
+            _format_seconds(row["p99_s"]),
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([fmt(header), rule] + [fmt(line) for line in body])

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.obs.fleet``."""
+
+from repro.obs.fleet.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""``python -m repro.obs.fleet`` — run a fleet scenario and report health.
+
+Examples::
+
+    # 200 clients, 10 simulated minutes, fleet summary + worst clients
+    python -m repro.obs.fleet --clients 200
+
+    # per-window timeline and Prometheus exposition
+    python -m repro.obs.fleet --clients 100 --timeline --prometheus
+
+    # chaos variant, JSONL rollups to a file, custom SLO rules
+    python -m repro.obs.fleet --chaos --jsonl-out /tmp/fleet.jsonl \\
+        --slo "p99 qrpc_latency_seconds <= 300" \\
+        --slo "ratio qrpc_failed_total sched_delivered_total <= 0.01"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bench.tables import format_table
+from repro.obs.fleet.expo import render_prometheus, write_fleet_jsonl
+from repro.obs.fleet.sim import FleetScenario, run_fleet
+from repro.obs.fleet.slo import DEFAULT_SLO_RULES, parse_rules
+
+
+def _fmt_pct(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def _fmt_s(value: float) -> str:
+    return f"{value:.3f}s" if value else "-"
+
+
+def summary_section(result) -> str:
+    rows = [[k, v] for k, v in sorted(result.summary().items())]
+    return format_table("fleet summary", ["field", "value"], rows)
+
+
+def worst_section(result, k: int) -> str:
+    rows = []
+    for entry in result.aggregator.worst_clients(k):
+        state = result.aggregator.clients[entry.client]
+        rows.append([
+            entry.client,
+            state.link_class or "?",
+            "no" if entry.healthy else "YES",
+            _fmt_pct(entry.delivery_rate),
+            _fmt_pct(entry.retransmit_ratio),
+            _fmt_s(entry.rtt_p95),
+            _fmt_s(entry.rtt_p99),
+            "; ".join(entry.violations) or ("silent" if entry.silent else ""),
+        ])
+    return format_table(
+        f"top-{k} worst clients",
+        ["client", "link", "unhealthy", "delivery", "retrans",
+         "rtt p95", "rtt p99", "violations"],
+        rows,
+    )
+
+
+def timeline_section(result) -> str:
+    rows = []
+    for window in result.aggregator.ring.windows():
+        delivered = sum(
+            v for k, v in window.counters.items()
+            if k.startswith("sched_delivered_total")
+        )
+        failed = sum(
+            v for k, v in window.counters.items()
+            if k.startswith("qrpc_failed_total")
+        )
+        links = ",".join(
+            f"{link}:{window.by_link[link]['reports']}"
+            for link in sorted(window.by_link)
+        )
+        rows.append([
+            window.index,
+            f"{window.start:.0f}-{window.end:.0f}s",
+            window.reports,
+            len(window.clients),
+            delivered,
+            failed,
+            links,
+        ])
+    return format_table(
+        "per-window timeline",
+        ["win", "span", "reports", "clients", "delivered", "failed",
+         "reports/link"],
+        rows,
+    )
+
+
+def events_section(result) -> str:
+    rows = [
+        [f"{e.at:.1f}s", e.client or "(fleet)", e.kind, e.detail]
+        for e in result.aggregator.events
+    ]
+    if not rows:
+        return "(no health events)"
+    return format_table(
+        "health events", ["at", "client", "kind", "detail"], rows
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.fleet",
+        description="Simulate a Rover client fleet and report its health.",
+    )
+    parser.add_argument("--clients", type=int, default=100)
+    parser.add_argument("--horizon", type=float, default=600.0,
+                        help="simulated seconds of foreground workload")
+    parser.add_argument("--interval", type=float, default=60.0,
+                        help="telemetry report interval (simulated s)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--chaos", action="store_true",
+                        help="inject link faults and a server outage")
+    parser.add_argument("--worst", type=int, default=10, metavar="K",
+                        help="how many worst clients to list")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print the per-window timeline")
+    parser.add_argument("--events", action="store_true",
+                        help="print recorded health events")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="print the serving registry in Prometheus text")
+    parser.add_argument("--jsonl-out", metavar="PATH",
+                        help="write rollups as JSONL rows to PATH")
+    parser.add_argument("--slo", action="append", default=[], metavar="RULE",
+                        help="SLO rule (repeatable); replaces the defaults")
+    args = parser.parse_args(argv)
+
+    rules = (
+        tuple(r.text for r in parse_rules(args.slo))
+        if args.slo
+        else DEFAULT_SLO_RULES
+    )
+    scenario = FleetScenario(
+        n_clients=args.clients,
+        seed=args.seed,
+        horizon_s=args.horizon,
+        report_interval_s=args.interval,
+        chaos=args.chaos,
+        slo=rules,
+    )
+    result = run_fleet(scenario)
+
+    sections = [summary_section(result), worst_section(result, args.worst)]
+    if args.timeline:
+        sections.append(timeline_section(result))
+    if args.events:
+        sections.append(events_section(result))
+    print("\n\n".join(sections))
+    if args.prometheus:
+        print()
+        sys.stdout.write(render_prometheus(result.bed.obs.registry))
+    if args.jsonl_out:
+        with open(args.jsonl_out, "w") as out:
+            count = write_fleet_jsonl(result.aggregator, out)
+        print(f"\nwrote {count} rows to {args.jsonl_out}")
+    if not result.exact:
+        print(
+            f"WARNING: aggregated totals diverged for "
+            f"{len(result.mismatched_clients)} client(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Text exposition and JSONL export for fleet telemetry.
+
+Two consumers, two formats:
+
+* :func:`render_prometheus` — Prometheus-style plain text over any
+  :class:`~repro.obs.metrics.MetricsRegistry` (``# HELP``/``# TYPE``
+  headers, ``_bucket{le=...}``/``_sum``/``_count`` for histograms).
+  Point it at the serving host's registry and the ``fleet_*`` series
+  appear next to the server's own metrics.
+* :func:`fleet_rows` / :func:`write_fleet_jsonl` — the aggregator's
+  rollups as JSON rows (``kind``: ``summary`` / ``client`` /
+  ``window`` / ``event``), one per line, for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, TextIO
+
+from repro.obs.metrics import (
+    HistogramChild,
+    MetricsRegistry,
+    format_series,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.fleet.aggregator import FleetAggregator
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in sorted(registry.metrics(), key=lambda m: m.name):
+        children = sorted(metric.children())
+        if not children:
+            continue
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for labelvalues, child in children:
+            series = format_series(metric.name, metric.labelnames, labelvalues)
+            if isinstance(child, HistogramChild):
+                base, brace, label_body = series.partition("{")
+                label_body = label_body[:-1] if brace else ""
+                cumulative = 0
+                for bound, count in zip(child.buckets, child.bucket_counts):
+                    cumulative += count
+                    le = _fmt(bound)
+                    extra = f"{label_body}," if label_body else ""
+                    lines.append(
+                        f'{base}_bucket{{{extra}le="{le}"}} {cumulative}'
+                    )
+                extra = f"{label_body}," if label_body else ""
+                lines.append(
+                    f'{base}_bucket{{{extra}le="+Inf"}} {child.count}'
+                )
+                suffix = f"{{{label_body}}}" if label_body else ""
+                lines.append(f"{base}_sum{suffix} {_fmt(child.sum)}")
+                lines.append(f"{base}_count{suffix} {child.count}")
+            else:
+                lines.append(f"{series} {_fmt(child.value)}")  # type: ignore[attr-defined]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def fleet_rows(aggregator: "FleetAggregator") -> list[dict]:
+    """The aggregator's state as flat JSON-serialisable rows."""
+    rows: list[dict] = [{"kind": "summary", **aggregator.summary()}]
+    health = aggregator.health()
+    for client in sorted(aggregator.clients):
+        state = aggregator.clients[client]
+        row = {
+            "kind": "client",
+            "client": client,
+            "link": state.link_class,
+            "reports": state.reports_applied,
+            "duplicates": state.duplicates,
+            "floor": state.floor,
+            "missing": state.missing(),
+            "totals": {key: state.totals[key] for key in sorted(state.totals)},
+        }
+        entry = health.get(client)
+        if entry is not None:
+            row["healthy"] = entry.healthy
+            row["violations"] = list(entry.violations)
+            row["rtt_p95"] = entry.rtt_p95
+            row["delivery_rate"] = entry.delivery_rate
+        rows.append(row)
+    for window in aggregator.ring.windows():
+        rows.append({
+            "kind": "window",
+            "index": window.index,
+            "start": window.start,
+            "end": window.end,
+            "reports": window.reports,
+            "clients": len(window.clients),
+            "by_link": {
+                link: dict(window.by_link[link])
+                for link in sorted(window.by_link)
+            },
+        })
+    for event in aggregator.events:
+        rows.append({"kind": "event", **event.as_row()})
+    return rows
+
+
+def write_fleet_jsonl(aggregator: "FleetAggregator", out: TextIO) -> int:
+    """Write :func:`fleet_rows` one JSON object per line; row count."""
+    rows = fleet_rows(aggregator)
+    for row in rows:
+        out.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)

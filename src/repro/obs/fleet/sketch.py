@@ -1,0 +1,154 @@
+"""Mergeable log-bucketed histogram sketches.
+
+A :class:`~repro.obs.metrics.HistogramChild` keeps every raw
+observation — fine locally, far too heavy to ship from a thousand
+clients.  A :class:`LogSketch` summarises a sample into logarithmic
+buckets (index ``ceil(log2(v) / GAMMA_LOG2)``), which makes it
+
+* **compact**: tens of buckets cover nanoseconds to minutes,
+* **mergeable**: merging two sketches is bucket-wise addition, so the
+  aggregator can combine sketches across reports, windows, and
+  clients and still answer percentile queries, and
+* **bounded-error**: a value lands in a bucket whose bounds are a
+  factor of ``2 ** GAMMA_LOG2`` apart, so any percentile is off by at
+  most ~19% relative error (and the max is tracked exactly).
+
+The wire form is a plain dict of ints/floats with sorted bucket pairs
+so it marshals deterministically (see :mod:`repro.net.message`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+#: Bucket width in log2 space: bucket boundaries are ``2 ** (i / 4)``,
+#: i.e. consecutive bounds differ by ~19%.
+GAMMA_LOG2 = 0.25
+
+#: Observations at or below this magnitude land in the zero bucket.
+MIN_VALUE = 1e-9
+
+
+def bucket_index(value: float) -> int:
+    """The sketch bucket for ``value`` (> MIN_VALUE)."""
+    return math.ceil(math.log2(value) / GAMMA_LOG2)
+
+
+def bucket_upper(index: int) -> float:
+    """Upper bound of bucket ``index``."""
+    return 2.0 ** (index * GAMMA_LOG2)
+
+
+class LogSketch:
+    """A mergeable summary of a sample of non-negative values."""
+
+    __slots__ = ("zero", "counts", "total", "sum", "max")
+
+    def __init__(self) -> None:
+        self.zero = 0                      # observations <= MIN_VALUE
+        self.counts: dict[int, int] = {}   # bucket index -> count
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"LogSketch values must be >= 0, got {value}")
+        self.total += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        if value <= MIN_VALUE:
+            self.zero += 1
+            return
+        idx = bucket_index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "LogSketch") -> "LogSketch":
+        """Fold ``other`` into self (bucket-wise addition); returns self."""
+        self.zero += other.zero
+        self.total += other.total
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+        for idx, count in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + count
+        return self
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (0..100); 0.0 when empty.
+
+        Walks buckets in order and returns the upper bound of the
+        bucket containing the target rank, clamped to the exact max.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.total == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.total * p / 100.0))
+        if rank <= self.zero:
+            return 0.0
+        seen = self.zero
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen >= rank:
+                return min(bucket_upper(idx), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.sum / self.total
+
+    def copy(self) -> "LogSketch":
+        out = LogSketch()
+        out.merge(self)
+        return out
+
+    # -- wire format ------------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """Compact deterministic dict: buckets as sorted ``[idx, count]``.
+
+        ``sum`` and ``max`` are rounded to 6 significant digits — the
+        sketch is already a ~19%-relative-error summary, and a full
+        float repr would triple the wire cost of every bucket list.
+        """
+        wire: dict = {
+            "n": self.total,
+            "s": float(f"{self.sum:.6g}"),
+            "m": float(f"{self.max:.6g}"),
+        }
+        if self.zero:
+            wire["z"] = self.zero
+        if self.counts:
+            wire["b"] = [[idx, self.counts[idx]] for idx in sorted(self.counts)]
+        return wire
+
+    @staticmethod
+    def from_wire(wire: dict) -> "LogSketch":
+        out = LogSketch()
+        out.total = int(wire.get("n", 0))
+        out.sum = float(wire.get("s", 0.0))
+        out.max = float(wire.get("m", 0.0))
+        out.zero = int(wire.get("z", 0))
+        for idx, count in wire.get("b", []):
+            out.counts[int(idx)] = int(count)
+        return out
+
+    @staticmethod
+    def merge_wire(a: dict, b: dict) -> dict:
+        """Merge two wire-form sketches without materialising objects twice."""
+        return LogSketch.from_wire(a).merge(LogSketch.from_wire(b)).to_wire()
+
+    def __repr__(self) -> str:
+        return (
+            f"LogSketch(n={self.total}, mean={self.mean:.6g}, "
+            f"p95={self.percentile(95):.6g}, max={self.max:.6g})"
+        )

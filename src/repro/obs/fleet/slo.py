@@ -1,0 +1,152 @@
+"""Declarative SLO rules over fleet telemetry.
+
+A rule is one line of text — easy to keep in a config file or pass on
+the ``python -m repro.obs.fleet`` command line::
+
+    p99 qrpc_latency_seconds <= 30
+    p50 sched_queue_wait_seconds < 5
+    total qrpc_failed_total <= 0
+    ratio sched_retransmissions_total sched_delivered_total < 0.5
+
+Grammar (whitespace separated)::
+
+    <stat> <metric> <op> <threshold>
+
+* ``stat`` — ``p50`` / ``p95`` / ``p99`` (sketch percentile over the
+  evaluation scope), ``total`` (summed counter), or ``ratio`` (in
+  which case *two* metric names follow: numerator then denominator).
+* ``metric`` — a metric family name; every shipped series of that
+  family (any label combination) contributes.
+* ``op`` — ``<``, ``<=``, ``>``, ``>=``.
+* ``threshold`` — a float.
+
+Rules are evaluated **per client** by the
+:class:`~repro.obs.fleet.aggregator.FleetAggregator`; a client
+violating any rule is unhealthy, and health *transitions* are recorded
+as :class:`HealthEvent` entries in a bounded deque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_STATS = ("p50", "p95", "p99", "total", "ratio")
+
+
+class SLOError(Exception):
+    """Malformed SLO rule text."""
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One parsed rule; see the module docstring for the grammar."""
+
+    stat: str                 # p50 | p95 | p99 | total | ratio
+    metric: str               # family name (numerator for ratio)
+    denominator: str          # only for ratio
+    op: str
+    threshold: float
+    text: str                 # the original rule line
+
+    @staticmethod
+    def parse(line: str) -> "SLORule":
+        parts = line.split()
+        if len(parts) < 4:
+            raise SLOError(f"rule too short: {line!r}")
+        stat = parts[0].lower()
+        if stat not in _STATS:
+            raise SLOError(f"unknown stat {parts[0]!r} in {line!r}")
+        if stat == "ratio":
+            if len(parts) != 5:
+                raise SLOError(
+                    f"ratio rules read: ratio <num> <den> <op> <x>: {line!r}"
+                )
+            metric, denominator, op, raw = parts[1], parts[2], parts[3], parts[4]
+        else:
+            if len(parts) != 4:
+                raise SLOError(f"rules read: <stat> <metric> <op> <x>: {line!r}")
+            metric, denominator, op, raw = parts[1], "", parts[2], parts[3]
+        if op not in _OPS:
+            raise SLOError(f"unknown comparator {op!r} in {line!r}")
+        try:
+            threshold = float(raw)
+        except ValueError:
+            raise SLOError(f"bad threshold {raw!r} in {line!r}") from None
+        return SLORule(
+            stat=stat,
+            metric=metric,
+            denominator=denominator,
+            op=op,
+            threshold=threshold,
+            text=" ".join(parts),
+        )
+
+    def check(self, observed: Optional[float]) -> bool:
+        """True = conformant.  ``None`` (no data) conforms vacuously."""
+        if observed is None:
+            return True
+        return _OPS[self.op](observed, self.threshold)
+
+
+def parse_rules(lines: list[str]) -> list[SLORule]:
+    """Parse rule lines, skipping blanks and ``#`` comments."""
+    rules = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(SLORule.parse(stripped))
+    return rules
+
+
+#: The stock rule set the CLI and benchmark E15 evaluate: end-to-end
+#: QRPC latency bounded (queued requests may legitimately wait out a
+#: disconnection, hence the generous p99), terminal failures rare, and
+#: retransmissions not dominating deliveries.
+DEFAULT_SLO_RULES = (
+    "p95 qrpc_latency_seconds <= 120",
+    "p99 qrpc_latency_seconds <= 600",
+    "ratio sched_retransmissions_total sched_delivered_total <= 1.0",
+    "ratio qrpc_failed_total sched_delivered_total <= 0.05",
+)
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One health-state transition, kept in the aggregator's bounded log."""
+
+    at: float                 # simulated time of the transition
+    client: str               # "" for fleet-scope events
+    kind: str                 # degraded | recovered | silent | gap | gap_healed
+    detail: str
+
+    def as_row(self) -> dict:
+        return {
+            "at": self.at,
+            "client": self.client,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ClientHealth:
+    """Evaluation result for one client at one instant."""
+
+    client: str
+    healthy: bool = True
+    violations: list[str] = field(default_factory=list)
+    silent: bool = False
+    delivery_rate: float = 1.0
+    retransmit_ratio: float = 0.0
+    rtt_p50: float = 0.0
+    rtt_p95: float = 0.0
+    rtt_p99: float = 0.0

@@ -26,6 +26,28 @@ class MetricError(Exception):
     """Metric misuse (name clash, bad labels, negative counter step)."""
 
 
+#: Default ceiling on labelled children per metric family.  At fleet
+#: scale a carelessly-labelled metric (say, one child per request id)
+#: would grow client memory without bound; creation past the cap is a
+#: hard :class:`MetricError` rather than a silent leak.
+DEFAULT_MAX_CHILDREN = 10_000
+
+
+def format_series(
+    name: str, labelnames: Sequence[str], labelvalues: Sequence[str]
+) -> str:
+    """Canonical ``name{label=value,...}`` series key (snapshot format).
+
+    Shared by :meth:`MetricsRegistry.snapshot` and the fleet telemetry
+    reporter so a series is addressed identically on both ends of the
+    wire.
+    """
+    if not labelnames:
+        return name
+    body = ",".join(f"{ln}={lv}" for ln, lv in zip(labelnames, labelvalues))
+    return f"{name}{{{body}}}"
+
+
 def percentile(values: Sequence[float], p: float) -> float:
     """The ``p``-th percentile (0..100) with linear interpolation.
 
@@ -168,10 +190,14 @@ class Metric:
         name: str,
         help: str = "",
         labelnames: Sequence[str] = (),
+        max_children: Optional[int] = None,
     ) -> None:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+        self.max_children = (
+            DEFAULT_MAX_CHILDREN if max_children is None else int(max_children)
+        )
         self._children: dict[tuple[str, ...], _Child] = {}
 
     def labels(self, **labelvalues: str) -> _Child:
@@ -183,6 +209,12 @@ class Metric:
         key = tuple(str(labelvalues[ln]) for ln in self.labelnames)
         child = self._children.get(key)
         if child is None:
+            if len(self._children) >= self.max_children:
+                raise MetricError(
+                    f"{self.name}: label cardinality cap reached "
+                    f"({self.max_children} children); check for an "
+                    f"unbounded label (request ids, timestamps, ...)"
+                )
             child = self._make_child(key)
             self._children[key] = child
         return child
@@ -236,8 +268,9 @@ class Histogram(Metric):
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Optional[Sequence[float]] = None,
+        max_children: Optional[int] = None,
     ) -> None:
-        super().__init__(name, help, labelnames)
+        super().__init__(name, help, labelnames, max_children=max_children)
         self.buckets = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
 
     def _make_child(self, key: tuple[str, ...]) -> HistogramChild:
@@ -272,14 +305,28 @@ class MetricsRegistry:
         return metric
 
     def counter(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: Optional[int] = None,
     ) -> Counter:
-        return self._register(Counter, name, help=help, labelnames=labelnames)  # type: ignore[return-value]
+        return self._register(
+            Counter, name, help=help, labelnames=labelnames,
+            max_children=max_children,
+        )  # type: ignore[return-value]
 
     def gauge(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: Optional[int] = None,
     ) -> Gauge:
-        return self._register(Gauge, name, help=help, labelnames=labelnames)  # type: ignore[return-value]
+        return self._register(
+            Gauge, name, help=help, labelnames=labelnames,
+            max_children=max_children,
+        )  # type: ignore[return-value]
 
     def histogram(
         self,
@@ -287,9 +334,11 @@ class MetricsRegistry:
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Optional[Sequence[float]] = None,
+        max_children: Optional[int] = None,
     ) -> Histogram:
         return self._register(
-            Histogram, name, help=help, labelnames=labelnames, buckets=buckets
+            Histogram, name, help=help, labelnames=labelnames, buckets=buckets,
+            max_children=max_children,
         )  # type: ignore[return-value]
 
     def get(self, name: str) -> Optional[Metric]:
@@ -308,14 +357,7 @@ class MetricsRegistry:
         out: dict[str, float] = {}
         for metric in self._metrics.values():
             for key, child in metric.children():
-                suffix = (
-                    "{" + ",".join(
-                        f"{ln}={lv}" for ln, lv in zip(metric.labelnames, key)
-                    ) + "}"
-                    if metric.labelnames
-                    else ""
-                )
-                series = f"{metric.name}{suffix}"
+                series = format_series(metric.name, metric.labelnames, key)
                 if isinstance(child, HistogramChild):
                     out[f"{series}_count"] = float(child.count)
                     out[f"{series}_sum"] = child.sum

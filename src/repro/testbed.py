@@ -214,6 +214,11 @@ class ClientStack:
     transport: Transport
     scheduler: NetworkScheduler
     access: AccessManager
+    #: This client's private Observatory when the testbed was built
+    #: with ``per_client_obs=True`` (fleet telemetry needs per-client
+    #: registries so each reporter ships only its own series);
+    #: ``None`` when all clients share ``bed.obs``.
+    obs: Optional[Observatory] = None
 
     def crash_and_recover(self) -> list[str]:
         """Crash this client process and rebuild it from the stable log.
@@ -259,6 +264,8 @@ def build_multi_client_testbed(
     rpc_timeout_s: float = 600.0,
     compaction: bool = False,
     delta_shipping: bool = False,
+    per_client_obs: bool = False,
+    link_specs: Optional[list[LinkSpec]] = None,
 ) -> MultiClientTestbed:
     """Build N clients, each with its own link (and policy) to one server.
 
@@ -267,7 +274,12 @@ def build_multi_client_testbed(
     ``shared_medium=True`` every client link contends on one channel —
     a wireless cell rather than N dedicated wires.  Per-client metric
     series are told apart by their ``host``/``owner`` labels in the
-    shared ``bed.obs`` registry.
+    shared ``bed.obs`` registry — unless ``per_client_obs=True``, which
+    gives every client a private Observatory (``stack.obs``) so fleet
+    telemetry reporters ship disjoint registries; the server keeps
+    ``bed.obs``.  ``link_specs`` assigns heterogeneous links: client
+    ``i`` gets ``link_specs[i % len(link_specs)]`` (a mixed fleet
+    population) instead of the uniform ``link_spec``.
     """
     if obs is None:
         obs = active_capture() or Observatory(tracing=trace)
@@ -285,26 +297,37 @@ def build_multi_client_testbed(
     for index in range(n_clients):
         host = network.host(f"client{index}")
         policy = policies[index] if policies is not None else None
-        link = network.connect(host, server_host, link_spec, policy, medium=medium)
-        transport = Transport(sim, host, obs=obs)
-        scheduler = NetworkScheduler(sim, transport, obs=obs, rpc_timeout=rpc_timeout_s)
+        spec = (
+            link_specs[index % len(link_specs)] if link_specs else link_spec
+        )
+        link = network.connect(host, server_host, spec, policy, medium=medium)
+        client_obs = Observatory(tracing=False) if per_client_obs else obs
+        transport = Transport(sim, host, obs=client_obs)
+        scheduler = NetworkScheduler(
+            sim, transport, obs=client_obs, rpc_timeout=rpc_timeout_s
+        )
         access = AccessManager(
             sim,
             scheduler,
             servers={authority: server_host},
-            cache=ObjectCache(clock=lambda: sim.now, obs=obs, owner=host.name),
+            cache=ObjectCache(
+                clock=lambda: sim.now, obs=client_obs, owner=host.name
+            ),
             log=OperationLog(
-                StableLog(flush_model=flush_model, obs=obs, owner=host.name),
-                obs=obs,
+                StableLog(flush_model=flush_model, obs=client_obs, owner=host.name),
+                obs=client_obs,
                 owner=host.name,
             ),
             notifications=NotificationCenter(),
-            obs=obs,
+            obs=client_obs,
             compactor=default_compactor() if compaction else None,
             delta_shipping=delta_shipping,
         )
         access.watch_new_links()
-        clients.append(ClientStack(host, link, transport, scheduler, access))
+        clients.append(ClientStack(
+            host, link, transport, scheduler, access,
+            obs=client_obs if per_client_obs else None,
+        ))
 
     return MultiClientTestbed(
         sim=sim,

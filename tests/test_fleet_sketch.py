@@ -1,0 +1,122 @@
+"""LogSketch unit tests: accuracy bound, merging, wire format."""
+
+import pytest
+
+from repro.obs.fleet.sketch import (
+    GAMMA_LOG2,
+    LogSketch,
+    bucket_index,
+    bucket_upper,
+)
+
+
+def exact_percentile(values, p):
+    ranked = sorted(values)
+    import math
+
+    rank = max(1, math.ceil(len(ranked) * p / 100.0))
+    return ranked[rank - 1]
+
+
+class TestBuckets:
+    def test_value_within_bucket_bounds(self):
+        for value in (0.001, 0.5, 1.0, 3.7, 120.0, 9999.0):
+            idx = bucket_index(value)
+            assert value <= bucket_upper(idx)
+            assert value > bucket_upper(idx - 1) or value == bucket_upper(idx)
+
+    def test_relative_error_bound(self):
+        # Consecutive bucket bounds differ by 2**GAMMA_LOG2 (~19%).
+        ratio = bucket_upper(5) / bucket_upper(4)
+        assert ratio == pytest.approx(2.0 ** GAMMA_LOG2)
+
+
+class TestObserve:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogSketch().observe(-1.0)
+
+    def test_zero_bucket(self):
+        sketch = LogSketch()
+        sketch.observe(0.0)
+        sketch.observe(1e-12)
+        assert sketch.zero == 2
+        assert sketch.total == 2
+        assert sketch.percentile(50) == 0.0
+
+    def test_empty_percentile_and_mean(self):
+        sketch = LogSketch()
+        assert sketch.percentile(50) == 0.0
+        assert sketch.mean == 0.0
+        with pytest.raises(ValueError):
+            sketch.percentile(101)
+
+    def test_percentile_within_bound(self):
+        values = [0.01 * (i + 1) for i in range(500)]
+        sketch = LogSketch()
+        sketch.observe_many(values)
+        bound = 2.0 ** GAMMA_LOG2
+        for p in (50, 90, 95, 99):
+            exact = exact_percentile(values, p)
+            approx = sketch.percentile(p)
+            assert exact / bound <= approx <= exact * bound
+
+    def test_max_exact(self):
+        sketch = LogSketch()
+        sketch.observe_many([1.0, 2.0, 37.5])
+        assert sketch.max == 37.5
+        # The top percentile clamps to the exact max, not the bucket bound.
+        assert sketch.percentile(100) == 37.5
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        a_values = [0.1, 0.5, 2.0, 2.0, 9.0]
+        b_values = [0.0, 0.5, 30.0]
+        a, b, union = LogSketch(), LogSketch(), LogSketch()
+        a.observe_many(a_values)
+        b.observe_many(b_values)
+        union.observe_many(a_values + b_values)
+        merged = a.copy().merge(b)
+        assert merged.total == union.total
+        assert merged.zero == union.zero
+        assert merged.counts == union.counts
+        assert merged.max == union.max
+        assert merged.sum == pytest.approx(union.sum)
+        for p in (50, 95, 99):
+            assert merged.percentile(p) == union.percentile(p)
+
+    def test_merge_returns_self(self):
+        a, b = LogSketch(), LogSketch()
+        assert a.merge(b) is a
+
+
+class TestWire:
+    def test_roundtrip(self):
+        sketch = LogSketch()
+        sketch.observe_many([0.0, 0.25, 1.5, 1.5, 600.0])
+        clone = LogSketch.from_wire(sketch.to_wire())
+        assert clone.total == sketch.total
+        assert clone.zero == sketch.zero
+        assert clone.counts == sketch.counts
+        for p in (50, 95, 99):
+            assert clone.percentile(p) == pytest.approx(
+                sketch.percentile(p), rel=1e-5
+            )
+
+    def test_wire_is_compact_and_sorted(self):
+        sketch = LogSketch()
+        sketch.observe_many([8.0, 0.1, 3.0])
+        wire = sketch.to_wire()
+        assert "z" not in wire  # empty sections omitted
+        assert wire["b"] == sorted(wire["b"])
+        # sum/max rounded to 6 significant digits for wire economy.
+        assert float(f"{wire['s']:.6g}") == wire["s"]
+
+    def test_merge_wire(self):
+        a, b = LogSketch(), LogSketch()
+        a.observe_many([1.0, 2.0])
+        b.observe_many([4.0])
+        merged = LogSketch.merge_wire(a.to_wire(), b.to_wire())
+        assert merged["n"] == 3
+        assert LogSketch.from_wire(merged).counts == a.copy().merge(b).counts

@@ -329,3 +329,52 @@ def test_qrpc_latency_histogram_feeds_registry():
     assert snap[f"{key}_count"] == 1
     assert snap[f"{key}_sum"] > 0
     assert not math.isnan(snap[f"{key}_p50"])
+
+
+# ---------------------------------------------------------------------------
+# label-cardinality cap + percentile tables (fleet-telemetry satellites)
+# ---------------------------------------------------------------------------
+
+
+def test_label_cardinality_cap_enforced():
+    registry = MetricsRegistry()
+    counter = registry.counter("tiny_total", "capped", labelnames=("k",),
+                               max_children=3)
+    for i in range(3):
+        counter.labels(k=f"v{i}").inc()
+    with pytest.raises(MetricError):
+        counter.labels(k="v3").inc()
+    # Existing children keep working; the cap only blocks new series.
+    counter.labels(k="v0").inc()
+    assert counter.labels(k="v0").value == 2
+
+
+def test_default_cardinality_cap_is_bounded():
+    from repro.obs.metrics import DEFAULT_MAX_CHILDREN
+
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "default cap", labelnames=("k",))
+    assert gauge.max_children == DEFAULT_MAX_CHILDREN
+
+
+def test_histogram_table_reports_percentiles():
+    from repro.obs.export import histogram_rows, histogram_table
+
+    obs = Observatory()
+    hist = obs.registry.histogram("lat_seconds", "latency",
+                                  labelnames=("op",))
+    for v in (0.1, 0.2, 0.3, 0.4, 10.0):
+        hist.labels(op="load").observe(v)
+    rows = histogram_rows(obs.registry)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["series"] == "lat_seconds{op=load}"
+    assert row["count"] == 5
+    assert row["p50_s"] == pytest.approx(0.3)
+    # The exact-percentile estimator interpolates toward the max.
+    assert 0.4 < row["p99_s"] <= 10.0
+    table = histogram_table(obs.registry)
+    assert "lat_seconds{op=load}" in table and "p95" in table
+    # The Observatory summary embeds the same percentile section.
+    assert "p95" in obs.summary_table()
+    assert "lat_seconds" not in obs.summary_table(include_metrics=False)
