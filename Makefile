@@ -1,7 +1,7 @@
 PYTHON ?= python
 CHAOS_SEED ?= 0
 
-.PHONY: install test lint bench tables chaos check perf fleet demo examples clean
+.PHONY: install test lint effects bench tables chaos check perf fleet demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -10,8 +10,15 @@ test:
 	$(PYTHON) -m pytest tests/
 
 lint:
-	$(PYTHON) -m repro.lint src/repro
+	$(PYTHON) -m repro.lint src/repro --strict-suppressions
 	$(PYTHON) -m repro.lint --rdos
+	$(PYTHON) -m repro.lint --effects src/repro
+
+# Whole-program effect analysis alone (docs/LINTING.md, EFF rules).
+# On violation it prints witness call chains; sanctioned escapes live
+# in lint-effects-baseline.txt.
+effects:
+	$(PYTHON) -m repro.lint --effects src/repro --effects-json lint-effects.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

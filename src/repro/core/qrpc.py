@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
+from repro.lint.contracts import marshal_stable
 from repro.net.scheduler import Priority
 
 
@@ -81,6 +82,7 @@ class QRPCRequest:
     trace_id: str = ""
     span_id: str = ""
 
+    @marshal_stable
     def to_wire(self) -> dict:
         wire = {
             "id": self.request_id,
@@ -96,6 +98,7 @@ class QRPCRequest:
         return wire
 
     @staticmethod
+    @marshal_stable
     def from_wire(wire: dict) -> "QRPCRequest":
         trace = wire.get("trace") or ["", ""]
         return QRPCRequest(

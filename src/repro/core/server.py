@@ -27,6 +27,7 @@ from repro.core.conflict import ConflictReport, ResolverRegistry
 from repro.core.interpreter import SafeInterpreter
 from repro.core.rdo import RDO, ExecutionCostModel, RDOVerificationError
 from repro.net.simnet import Address
+from repro.lint.contracts import replay_pure
 from repro.net.transport import DelayedReply, Transport
 from repro.obs import Observatory
 from repro.obs.trace import TRACE_KEY, parse_context
@@ -364,6 +365,7 @@ class RoverServer:
 
     # -- services -------------------------------------------------------------
 
+    @replay_pure
     def _on_import(self, body: Any, source: Address) -> Any:
         if not self._authorized(body):
             return {"status": "unauthorized"}
@@ -400,6 +402,7 @@ class RoverServer:
         self._m_delta_down.inc(saved)
         return slim
 
+    @replay_pure
     def _on_export(self, body: Any, source: Address) -> Any:
         if not self._authorized(body):
             return {"status": "unauthorized"}
@@ -499,6 +502,7 @@ class RoverServer:
             request_id, {"status": "conflict", "conflict": report.to_wire()}
         )
 
+    @replay_pure
     def _on_invoke(self, body: Any, source: Address) -> Any:
         if not self._authorized(body):
             return {"status": "unauthorized"}
@@ -534,6 +538,7 @@ class RoverServer:
         self._record_reply(request_id, reply)
         return DelayedReply(self.cost_model.invoke_time(steps), reply)
 
+    @replay_pure
     def _on_ship(self, body: Any, source: Address) -> Any:
         """Execute a shipped RDO server-side.
 
@@ -576,6 +581,7 @@ class RoverServer:
         self._record_reply(request_id, reply)
         return DelayedReply(self.cost_model.invoke_time(steps), reply)
 
+    @replay_pure
     def _on_batch(self, body: Any, source: Address) -> Any:
         """Execute several client requests from one wire exchange.
 
@@ -637,6 +643,7 @@ class RoverServer:
             return None
         return holder
 
+    @replay_pure
     def _on_lock(self, body: Any, source: Address) -> Any:
         """Acquire an advisory lease on an object.
 
@@ -659,6 +666,7 @@ class RoverServer:
         self.locks_granted += 1
         return {"status": "ok", "expires_in_s": lease_s}
 
+    @replay_pure
     def _on_unlock(self, body: Any, source: Address) -> Any:
         if not self._authorized(body):
             return {"status": "unauthorized"}
@@ -670,6 +678,7 @@ class RoverServer:
         self._locks.pop(urn, None)
         return {"status": "ok"}
 
+    @replay_pure
     def _on_list(self, body: Any, source: Address) -> Any:
         """Enumerate object names under a prefix (hoard-walk support)."""
         if not self._authorized(body):
@@ -678,6 +687,7 @@ class RoverServer:
         names = sorted(key for key in self.store.keys() if key.startswith(prefix))
         return {"status": "ok", "urns": names}
 
+    @replay_pure
     def _on_subscribe(self, body: Any, source: Address) -> Any:
         """Register for invalidation callbacks on a URN prefix.
 

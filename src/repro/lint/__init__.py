@@ -1,13 +1,17 @@
 """Static analysis for the Rover toolkit.
 
-Two AST-based analyzers over one diagnostic core:
+Three AST-based analyzers over one diagnostic core:
 
 * :mod:`repro.lint.verifier` — the RDO static verifier: publish-time
   enforcement of the safe subset, mutation purity against the declared
   interface, marshal-ability, name resolution, and bounded execution;
 * :mod:`repro.lint.sanitizer` — the simulation-determinism sanitizer:
   a repo-wide lint (``python -m repro.lint src/repro``) flagging
-  wall-clock access, unseeded randomness, and unordered-set iteration.
+  wall-clock access, unseeded randomness, and unordered-set iteration;
+* :mod:`repro.lint.effects` — the whole-program effect analyzer
+  (``python -m repro.lint --effects src/repro``): call-graph effect
+  inference checked against the layer contracts in
+  :mod:`repro.lint.contracts`, with witness call chains.
 
 The rule tables both analyzers (and the runtime
 :class:`~repro.core.interpreter.SafeInterpreter`) enforce live in
@@ -17,6 +21,14 @@ This package imports nothing from :mod:`repro.core`; it sits below the
 toolkit in the dependency graph.
 """
 
+from repro.lint.contracts import (
+    LAYER_CONTRACTS,
+    MARSHAL_FORBIDS,
+    REPLAY_FORBIDS,
+    Effect,
+    marshal_stable,
+    replay_pure,
+)
 from repro.lint.diagnostics import (
     Diagnostic,
     Severity,
@@ -32,6 +44,11 @@ from repro.lint.rules import (
     RULES,
     SAFE_BUILTINS,
 )
+from repro.lint.effects import (
+    EffectReport,
+    analyze_paths,
+    analyze_sources,
+)
 from repro.lint.sanitizer import scan_file, scan_paths, scan_source
 from repro.lint.verifier import (
     check_code,
@@ -44,6 +61,15 @@ from repro.lint.verifier import (
 __all__ = [
     "ALLOWED_NODES",
     "Diagnostic",
+    "Effect",
+    "EffectReport",
+    "LAYER_CONTRACTS",
+    "MARSHAL_FORBIDS",
+    "REPLAY_FORBIDS",
+    "analyze_paths",
+    "analyze_sources",
+    "marshal_stable",
+    "replay_pure",
     "FORBIDDEN_ATTRIBUTES",
     "MARSHALLABLE_TYPES",
     "MUTATING_METHODS",

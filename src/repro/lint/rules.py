@@ -213,6 +213,37 @@ RULES: dict[str, tuple[str, str]] = {
         "wrap the union in sorted(...) so marshalled bytes, merge "
         "results, and event orderings are identical across runs",
     ),
+    # -- whole-program effect analysis (repro.lint.effects) ----------------
+    "EFF101": (
+        "layer-contract violation: a contracted layer reaches a "
+        "forbidden effect",
+        "keep the sim/core layers pure — route the effect through the "
+        "simulator clock / seeded RNG, or move the code out of the "
+        "contracted layer; sanctioned escapes go in "
+        "lint-effects-baseline.txt with a justification",
+    ),
+    "EFF201": (
+        "replay entry point (QRPC handler or compaction rule) reaches "
+        "a replay-impure effect",
+        "replayed functions must be deterministic and idempotent: no "
+        "clock, RNG, real I/O, durable log writes, or global mutation "
+        "anywhere in their call tree",
+    ),
+    "EFF301": (
+        "marshal path iterates an unordered container",
+        "bytes-on-wire must not depend on the hash salt; sort the "
+        "iteration or marshal an ordered structure",
+    ),
+    "EFF901": (
+        "stale baseline entry: no current finding matches it",
+        "delete the line from lint-effects-baseline.txt; the escape it "
+        "sanctioned no longer exists",
+    ),
+    "SUP001": (
+        "stale suppression: a lint-ignore comment silences nothing",
+        "remove the comment (or narrow its rule list); stale "
+        "suppressions hide future regressions",
+    ),
 }
 
 

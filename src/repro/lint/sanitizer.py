@@ -20,10 +20,15 @@ This pass walks a file tree's ASTs and flags all three.  Run it as
 ``python -m repro.lint src/repro``; the tree must come out clean and
 CI gates on it.
 
-Suppressions: a line containing ``# lint: ignore[DETxxx]`` silences
-that rule on that line; ``# lint: ignore`` silences every rule.  Files
-under ``repro/live/`` are exempt from DET101, and ``sim/rng.py`` (the
-one sanctioned ``random`` consumer) from DET201.
+Suppressions: a line comment ``lint: ignore[DETxxx]`` silences that
+rule on that line; a bare ``lint: ignore`` silences every rule.  With
+``strict_suppressions`` enabled (``--strict-suppressions`` on the CLI)
+a suppression that silences nothing is itself reported (SUP001).
+
+Path exemptions are no longer blanket subtrees: they come from the
+sanctioned-path tables in :mod:`repro.lint.contracts` — only
+``live/clock.py`` and ``live/transport.py`` may read the real clock,
+and only ``sim/rng.py`` may construct RNGs.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ import os
 import re
 from typing import Iterable, Optional
 
+from repro.lint.contracts import Effect, sanctioned_for
 from repro.lint.diagnostics import Diagnostic, Severity, sort_diagnostics
 from repro.lint.rules import rule_hint
 
@@ -68,13 +74,21 @@ def _norm(path: str) -> str:
     return path.replace(os.sep, "/")
 
 
+#: Sanitizer rule -> the contract effect whose sanctioned paths exempt it.
+_RULE_EFFECT = {"DET101": Effect.WALLCLOCK, "DET201": Effect.UNSEEDED_RNG}
+
+
 def _exempt(rule: str, path: str) -> bool:
+    """Per-contract scoping: a file is exempt from a rule only when the
+    contracts table sanctions that effect for that exact file."""
+    effect = _RULE_EFFECT.get(rule)
+    if effect is None:
+        return False
     normalized = _norm(path)
-    if rule == "DET101":
-        return "/live/" in normalized or normalized.endswith("/live")
-    if rule == "DET201":
-        return normalized.endswith("sim/rng.py")
-    return False
+    return any(
+        normalized == sanctioned or normalized.endswith("/" + sanctioned)
+        for sanctioned in sanctioned_for(effect)
+    )
 
 
 def _is_setish(node: ast.expr) -> bool:
@@ -108,6 +122,8 @@ class _FileSanitizer(ast.NodeVisitor):
     def __init__(self, path: str, suppressions: dict[int, Optional[set[str]]]) -> None:
         self.path = path
         self.suppressions = suppressions
+        #: (lineno, rule) pairs a suppression actually silenced
+        self.used_suppressions: set[tuple[int, str]] = set()
         self.findings: list[Diagnostic] = []
 
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
@@ -117,6 +133,7 @@ class _FileSanitizer(ast.NodeVisitor):
         if lineno in self.suppressions:
             suppressed = self.suppressions[lineno]
             if suppressed is None or rule in suppressed:
+                self.used_suppressions.add((lineno, rule))
                 return
         self.findings.append(Diagnostic(
             rule=rule,
@@ -199,7 +216,38 @@ class _FileSanitizer(ast.NodeVisitor):
     visit_GeneratorExp = _visit_comprehension
 
 
-def scan_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+def _stale_suppressions(
+    path: str,
+    table: dict[int, Optional[set[str]]],
+    used: set[tuple[int, str]],
+) -> list[Diagnostic]:
+    """SUP001 for every suppression (or listed rule) that silenced
+    nothing — stale suppressions hide future regressions."""
+    findings: list[Diagnostic] = []
+    used_lines = {lineno for lineno, __ in used}
+    for lineno in sorted(table):
+        rules = table[lineno]
+        if rules is None:
+            stale = [] if lineno in used_lines else ["(all rules)"]
+        else:
+            stale = sorted(r for r in rules if (lineno, r) not in used)
+        if not stale:
+            continue
+        findings.append(Diagnostic(
+            rule="SUP001",
+            severity=Severity.ERROR,
+            path=path,
+            line=lineno,
+            col=0,
+            message=f"stale suppression: {', '.join(stale)} not triggered here",
+            hint=rule_hint("SUP001"),
+        ))
+    return findings
+
+
+def scan_source(
+    source: str, path: str = "<string>", strict_suppressions: bool = False
+) -> list[Diagnostic]:
     """Sanitize one file's source text."""
     try:
         tree = ast.parse(source)
@@ -212,17 +260,25 @@ def scan_source(source: str, path: str = "<string>") -> list[Diagnostic]:
             col=(exc.offset or 1) - 1,
             message=f"file does not parse: {exc.msg}",
         )]
-    checker = _FileSanitizer(path, _suppressions(source))
+    table = _suppressions(source)
+    checker = _FileSanitizer(path, table)
     checker.visit(tree)
-    return checker.findings
+    findings = checker.findings
+    if strict_suppressions:
+        findings = findings + _stale_suppressions(
+            path, table, checker.used_suppressions
+        )
+    return findings
 
 
-def scan_file(path: str) -> list[Diagnostic]:
+def scan_file(path: str, strict_suppressions: bool = False) -> list[Diagnostic]:
     with open(path, "r", encoding="utf-8") as handle:
-        return scan_source(handle.read(), path)
+        return scan_source(handle.read(), path, strict_suppressions)
 
 
-def scan_paths(paths: Iterable[str]) -> list[Diagnostic]:
+def scan_paths(
+    paths: Iterable[str], strict_suppressions: bool = False
+) -> list[Diagnostic]:
     """Sanitize files and/or directory trees (``.py`` files only)."""
     findings: list[Diagnostic] = []
     for path in paths:
@@ -231,7 +287,9 @@ def scan_paths(paths: Iterable[str]) -> list[Diagnostic]:
                 dirnames.sort()
                 for filename in sorted(filenames):
                     if filename.endswith(".py"):
-                        findings += scan_file(os.path.join(dirpath, filename))
+                        findings += scan_file(
+                            os.path.join(dirpath, filename), strict_suppressions
+                        )
         else:
-            findings += scan_file(path)
+            findings += scan_file(path, strict_suppressions)
     return sort_diagnostics(findings)

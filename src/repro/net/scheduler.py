@@ -416,7 +416,10 @@ class NetworkScheduler:
         terminal).  Returns the number of messages abandoned.
         """
         count = 0
-        for message in list(self._active):
+        # self._active is identity-hashed, so bare iteration visits
+        # messages in per-process hash order; walk by submission seq so
+        # any observer of the cancellations sees one canonical order.
+        for message in sorted(self._active, key=lambda m: m.seq):
             if message.state in ("queued", "inflight", "accepted"):
                 message.state = "cancelled"
                 count += 1

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from repro.core.qrpc import Operation, QRPCRequest
+from repro.lint.contracts import replay_pure
 
 
 # -- pair-rule outcomes ---------------------------------------------------------
@@ -75,6 +76,7 @@ Outcome = Absorb | Merge | CancelOut
 class PairRule:
     """Examines an adjacent per-URN pair; returns an outcome or ``None``."""
 
+    @replay_pure
     def match(self, earlier: QRPCRequest, later: QRPCRequest) -> Optional[Outcome]:
         raise NotImplementedError
 
@@ -82,6 +84,7 @@ class PairRule:
 class RewriteRule:
     """Examines a single surviving request; returns new args or ``None``."""
 
+    @replay_pure
     def rewrite(self, request: QRPCRequest) -> Optional[dict]:
         raise NotImplementedError
 

@@ -1,0 +1,149 @@
+"""Soundness of the whole-program effect analyzer.
+
+The property (mirror of ``test_lint_soundness``'s verifier/runtime
+implication): for generated programs, every effect *observed
+dynamically* while executing a function — directly or through its
+callees — is contained in the effect set the analyzer *infers
+statically* for that function.  The analyzer may over-approximate
+(conservative dynamic dispatch), never under-approximate: an effect
+that fires at runtime but is missing from the static set is exactly
+the false-negative that would let a wall-clock read slip into a
+replayed handler.
+
+Dynamic observation instruments the effect sources themselves: the
+generated module is executed against fake ``time``/``random``/
+``socket``/``os`` modules and a fake ``open`` that record every call.
+The same source text (plus real import statements) is what the static
+analyzer sees.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.effects import analyze_sources
+
+# (effect name or None, statement template).  UNORDERED_ITER appears
+# for static coverage only — iteration order is not observable by
+# instrumentation, so the dynamic side never reports it and the subset
+# property holds trivially for it.
+_STATEMENTS = (
+    ("WALLCLOCK", "acc = time.time()"),
+    ("WALLCLOCK", "acc = time.monotonic()"),
+    ("BLOCKING_SLEEP", "time.sleep(0.01)"),
+    ("UNSEEDED_RNG", "acc = random.random()"),
+    ("UNSEEDED_RNG", "acc = random.randint(0, 9)"),
+    ("REAL_SOCKET", "acc = socket.socket()"),
+    ("FS_IO", "acc = open('scratch')"),
+    ("FS_IO", "os.remove('scratch')"),
+    ("GLOBAL_MUTATION", "global COUNTER\n    COUNTER = 1"),
+    (None, "acc = 1 + 2"),
+    (None, "acc = sorted([3, 1, 2])"),
+    (None, "acc = [i * i for i in range(3)]"),
+    (None, "for v in {1, 2, 3}:\n        acc = v"),
+)
+
+_IMPORTS = "import time\nimport random\nimport socket\nimport os\n"
+
+
+@st.composite
+def effect_programs(draw):
+    """A module of chained functions f0..f{n-1}; each carries one or
+    two drawn statements and may tail-call the next function."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    lines = ["COUNTER = 0"]
+    for i in range(n):
+        lines.append(f"def f{i}():")
+        drawn = draw(st.lists(st.sampled_from(_STATEMENTS), min_size=1, max_size=2))
+        seen_global = False
+        for effect, stmt in drawn:
+            if effect == "GLOBAL_MUTATION":
+                # a second `global COUNTER` after the assignment is a
+                # SyntaxError; keep at most one per function
+                if seen_global:
+                    continue
+                seen_global = True
+            lines.append("    " + stmt)
+        if i + 1 < n and draw(st.booleans()):
+            lines.append(f"    f{i + 1}()")
+        lines.append("    return None")
+    return n, "\n".join(lines) + "\n"
+
+
+class _Recorder:
+    def __init__(self):
+        self.events = set()
+
+    def hook(self, effect, result=0):
+        def fn(*args, **kwargs):
+            self.events.add(effect)
+            return result
+
+        return fn
+
+
+def _fake_modules(recorder):
+    class Namespace:
+        pass
+
+    time_mod, random_mod, socket_mod, os_mod = (Namespace() for __ in range(4))
+    time_mod.time = recorder.hook("WALLCLOCK", 1000.0)
+    time_mod.monotonic = recorder.hook("WALLCLOCK", 1.0)
+    time_mod.sleep = recorder.hook("BLOCKING_SLEEP", None)
+    random_mod.random = recorder.hook("UNSEEDED_RNG", 0.5)
+    random_mod.randint = recorder.hook("UNSEEDED_RNG", 4)
+    socket_mod.socket = recorder.hook("REAL_SOCKET", object())
+    os_mod.remove = recorder.hook("FS_IO", None)
+    return {
+        "time": time_mod,
+        "random": random_mod,
+        "socket": socket_mod,
+        "os": os_mod,
+        "open": recorder.hook("FS_IO", None),
+    }
+
+
+@settings(max_examples=120, deadline=None)
+@given(program=effect_programs())
+def test_dynamic_effects_subset_of_static(program):
+    n, body = program
+
+    # static side: the analyzer sees the source with real imports
+    report = analyze_sources({"repro/gen/mod.py": _IMPORTS + body})
+    static = {
+        i: {e.value for e in report.effects[f"repro/gen/mod.py:f{i}"]}
+        for i in range(n)
+    }
+
+    # dynamic side: execute against recording fakes (no imports — the
+    # module names resolve to the fakes through the exec globals)
+    recorder = _Recorder()
+    namespace = _fake_modules(recorder)
+    exec(compile(body, "<gen>", "exec"), namespace)  # noqa: S102 - test corpus
+
+    for i in range(n):
+        recorder.events = set()
+        namespace["COUNTER"] = 0
+        namespace[f"f{i}"]()
+        observed = set(recorder.events)
+        if namespace["COUNTER"] != 0:
+            observed.add("GLOBAL_MUTATION")
+        missing = observed - static[i]
+        assert not missing, (
+            f"f{i} dynamically performed {sorted(missing)} but the "
+            f"static set is {sorted(static[i])}:\n{body}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=effect_programs())
+def test_chain_head_inherits_tail_effects(program):
+    """Transitivity specifically: whenever f0's *source* contains a
+    call to f1, f0's static set contains f1's."""
+    n, body = program
+    report = analyze_sources({"repro/gen/mod.py": _IMPORTS + body})
+    for i in range(n - 1):
+        if f"    f{i + 1}()" not in body.split(f"def f{i + 1}():")[0]:
+            continue  # f{i} does not call f{i+1}
+        head = report.effects[f"repro/gen/mod.py:f{i}"]
+        tail = report.effects[f"repro/gen/mod.py:f{i + 1}"]
+        assert tail <= head, (i, sorted(tail), sorted(head), body)
