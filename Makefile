@@ -1,7 +1,7 @@
 PYTHON ?= python
 CHAOS_SEED ?= 0
 
-.PHONY: install test lint effects bench tables chaos check perf fleet demo examples clean
+.PHONY: install test lint effects bench tables chaos check ha perf fleet demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -29,7 +29,16 @@ tables:
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest -q \
 		tests/test_chaos_faults.py tests/test_chaos_convergence.py \
+		tests/test_ha_failover.py \
 		benchmarks/test_e13_chaos.py
+
+# Replicated home servers: failover/fencing/anti-entropy suite plus an
+# exhaustive pass over primary-kill interleavings (docs/ROBUSTNESS.md,
+# "Replication and failover").
+ha:
+	CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest -q \
+		tests/test_ha_failover.py tests/test_ha_satellites.py
+	$(PYTHON) -m repro.check --suite ha-failover --depth 1
 
 # Bounded interleaving model check (docs/VERIFICATION.md); < 2 min.
 # On a violation it writes the minimized trace to check-counterexample.json.

@@ -23,7 +23,13 @@ See ``docs/ROBUSTNESS.md`` for the failure model and fault catalogue.
 from repro.chaos import invariants
 from repro.chaos.controller import ChaosController
 from repro.chaos.faults import ChaosError, FaultyLink, LinkFaultSpec, flaky_policies
-from repro.chaos.plan import ClientCrash, FaultPlan, LinkFaultWindow, ServerOutage
+from repro.chaos.plan import (
+    ClientCrash,
+    FaultPlan,
+    LinkFaultWindow,
+    PrimaryKill,
+    ServerOutage,
+)
 from repro.chaos.recovery import crash_and_recover_client
 from repro.chaos.scenario import run_chaos_scenario, standard_plan
 
@@ -35,6 +41,7 @@ __all__ = [
     "FaultyLink",
     "LinkFaultSpec",
     "LinkFaultWindow",
+    "PrimaryKill",
     "ServerOutage",
     "crash_and_recover_client",
     "flaky_policies",

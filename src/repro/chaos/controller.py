@@ -44,7 +44,9 @@ class ChaosController:
         self.seed = seed
         #: (virtual time, kind, detail) for every executed fault.
         self.timeline: list[tuple[float, str, str]] = []
-        #: authority -> saved durable+port state while the server is down.
+        #: host name -> saved durable+port state while the server is
+        #: down.  Keyed by host, not authority: replication-group
+        #: members share one authority but crash independently.
         self._down: dict[str, dict] = {}
         self.server_crashes = 0
         self.client_crashes = 0
@@ -66,28 +68,34 @@ class ChaosController:
 
     def crash_server(self, server: Any) -> None:
         """Crash the server process right now (volatile state dies)."""
-        if server.authority in self._down:
-            raise ChaosError(f"server {server.authority} is already down")
         host = server.transport.host
-        self._down[server.authority] = {
+        if host.name in self._down:
+            raise ChaosError(f"server {host.name} is already down")
+        self._down[host.name] = {
             "snapshot": server.snapshot(),
             "ports": host.take_ports(),
         }
         server.transport.crash()
+        agent = getattr(server, "ha_agent", None)
+        if agent is not None:
+            agent.crash()
         for link in host.links:
             link.fail_inflight(f"peer {host.name} crashed")
         self.server_crashes += 1
-        self._note("server_crash", server.authority)
+        self._note("server_crash", host.name)
 
     def restart_server(self, server: Any) -> None:
         """Bring a crashed server back from its durable state."""
-        state = self._down.pop(server.authority, None)
-        if state is None:
-            raise ChaosError(f"server {server.authority} is not down")
         host = server.transport.host
+        state = self._down.pop(host.name, None)
+        if state is None:
+            raise ChaosError(f"server {host.name} is not down")
         host.restore_ports(state["ports"])
         server.restore(state["snapshot"])
-        self._note("server_restart", server.authority)
+        agent = getattr(server, "ha_agent", None)
+        if agent is not None:
+            agent.restart()
+        self._note("server_restart", host.name)
 
     def schedule_server_outage(
         self, server: Any, at: float, down_for: float
@@ -97,6 +105,28 @@ class ChaosController:
             raise ChaosError(f"outage duration {down_for} must be positive")
         self.sim.schedule_at(at, self.crash_server, server)
         self.sim.schedule_at(at + down_for, self.restart_server, server)
+
+    def schedule_primary_kill(
+        self, group: Any, at: float, down_for: float
+    ) -> None:
+        """Crash whichever member is primary when ``at`` arrives.
+
+        The victim is resolved at fire time via
+        ``group.primary_agent()`` — after an earlier kill and
+        failover, this takes down the *promoted* member, not the
+        original one.
+        """
+        if down_for <= 0:
+            raise ChaosError(f"kill duration {down_for} must be positive")
+
+        def execute() -> None:
+            victim = group.primary_agent().server
+            self.crash_server(victim)
+            self.sim.schedule_at(
+                self.sim.now + down_for, self.restart_server, victim
+            )
+
+        self.sim.schedule_at(at, execute)
 
     # -- client process faults -------------------------------------------
 
@@ -152,6 +182,11 @@ class ChaosController:
                     self.sim.schedule_at(window.end, injector.uninstall)
         for outage in plan.server_outages:
             self.schedule_server_outage(bed.server, outage.at, outage.down_for)
+        for kill in plan.primary_kills:
+            group = getattr(bed, "group", None)
+            if group is None:
+                raise ChaosError("primary_kills needs a replicated testbed")
+            self.schedule_primary_kill(group, kill.at, kill.down_for)
         for crash in plan.client_crashes:
             self.schedule_client_crash(
                 crash.at,

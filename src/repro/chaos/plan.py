@@ -67,6 +67,27 @@ class LinkFaultWindow:
 
 
 @dataclass(frozen=True)
+class PrimaryKill:
+    """Crash whichever group member is primary *at fire time*.
+
+    Unlike :class:`ServerOutage` (which names a fixed server when the
+    plan is armed), the victim is resolved when the event fires — after
+    one kill and failover, a second ``PrimaryKill`` takes down the
+    *promoted* member.  Requires a testbed carrying a replication
+    group (``bed.group``).
+    """
+
+    at: float
+    down_for: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ChaosError(f"kill time {self.at} is negative")
+        if self.down_for <= 0:
+            raise ChaosError(f"kill duration {self.down_for} must be positive")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong, and when."""
 
@@ -74,3 +95,4 @@ class FaultPlan:
     server_outages: tuple[ServerOutage, ...] = field(default_factory=tuple)
     client_crashes: tuple[ClientCrash, ...] = field(default_factory=tuple)
     link_windows: tuple[LinkFaultWindow, ...] = field(default_factory=tuple)
+    primary_kills: tuple[PrimaryKill, ...] = field(default_factory=tuple)

@@ -536,6 +536,135 @@ class DeltaShipScenario(Scenario):
         return violations
 
 
+# -- primary failover ---------------------------------------------------------
+
+
+class HAFailoverScenario(Scenario):
+    """One client appends through a primary kill in a 3-member group.
+
+    The first two decision points pick *when* the primary dies relative
+    to the append burst and whether it later rejoins (anti-entropy) or
+    stays down; every client frame then carries the usual
+    drop/dup/delay alternatives.  Whatever the interleaving, the oracle
+    demands: every acked append durable exactly once on the current
+    primary, appends a legal sequential merge, exactly one live
+    primary, all live members on one epoch, and — when the ex-primary
+    rejoined — byte-identical state vectors across all three members.
+    """
+
+    name = "ha-failover"
+    description = "primary kill/promotion/rejoin interleavings in a replica group"
+    n_clients = 1
+    adds = 4
+    #: Kill offsets relative to the append burst: before the first
+    #: frame, inside the burst, during the drain tail, and after most
+    #: of the traffic settled.
+    kill_offsets = (0.01, 0.1, 0.5, 2.0)
+
+    def build(self) -> Any:
+        from repro.ha import build_ha_testbed
+
+        # Tight lease/heartbeat and a short RPC budget so detection,
+        # election, and client failover all converge within one run.
+        return build_ha_testbed(
+            n_backups=2,
+            n_clients=self.n_clients,
+            rpc_timeout_s=1.0,
+            max_attempts=2,
+            lease_s=1.5,
+            heartbeat_s=0.5,
+        )
+
+    def populate(self, bed: Any, ctx: dict) -> None:
+        box = make_box(bed.authority, "check/ha-box")
+        bed.put_object(box)
+        ctx["urn"] = str(box.urn)
+
+    def contention(self, ctx: dict) -> tuple[frozenset[str], frozenset[str]]:
+        return frozenset({ctx["urn"]}), frozenset({ctx["urn"]})
+
+    def drive(self, bed: Any, harness: CheckHarness, ctx: dict) -> None:
+        from repro.chaos import ChaosController
+
+        urn = ctx["urn"]
+        stack = bed.clients[0]
+        session = stack.access.create_session()
+        stack.access.import_(urn, session=session)
+        self.drain(bed)
+
+        kill_at = bed.sim.decide(
+            len(self.kill_offsets), {"point": "primary-kill-at"}
+        )
+        rejoin = bed.sim.decide(2, {"point": "primary-stays-down"}) == 0
+        ctx["rejoin"] = rejoin
+        controller = ChaosController(bed.sim, obs=bed.obs)
+        ctx["controller"] = controller
+        controller.schedule_primary_kill(
+            bed.group,
+            at=bed.sim.now + self.kill_offsets[kill_at],
+            down_for=20.0 if rejoin else 100_000.0,
+        )
+
+        issued: dict[str, list[str]] = {}
+        acked: set[str] = set()
+        ctx["issued"], ctx["acked"] = issued, acked
+        for index in range(self.adds):
+            token = f"{stack.host.name}-{index}"
+            issued.setdefault(stack.host.name, []).append(token)
+            stack.access.invoke_remote(urn, "add", [token], session=session).then(
+                lambda _value, t=token: acked.add(t)
+            )
+        self.settle(bed, harness)
+        # Give replication and (on rejoin) anti-entropy time to settle
+        # group state before the oracle reads it: with a rejoin the
+        # ex-primary must first come back (20 virtual seconds) and then
+        # finish its sync round.
+        bed.sim.run_until(
+            lambda: self._converged(bed, rejoin), timeout=200.0
+        )
+
+    def _converged(self, bed: Any, rejoin: bool) -> bool:
+        if rejoin and any(agent._crashed for agent in bed.group.agents):
+            return False
+        primary = bed.group.primary_agent()
+        live = [agent for agent in bed.group.agents if not agent._crashed]
+        return all(
+            agent.seq == primary.seq
+            and not agent._needs_sync
+            and not agent._syncing
+            for agent in live
+        )
+
+    def check(self, bed: Any, harness: CheckHarness, ctx: dict) -> list[str]:
+        accesses = [stack.access for stack in bed.clients]
+        violations = oracle.standard_checks(bed.server, accesses)
+        violations += oracle.durable_exactly_once(
+            bed.server, ctx["urn"], sorted(ctx["acked"]), field="items"
+        )
+        rdo = bed.server.get_object(ctx["urn"])
+        final_items = rdo.data.get("items", []) if rdo is not None else []
+        violations += oracle.check_sequential_append(
+            final_items, ctx["issued"], sorted(ctx["acked"])
+        )
+        live = [agent for agent in bed.group.agents if not agent._crashed]
+        primaries = [agent for agent in live if agent.role == "primary"]
+        if len(primaries) != 1:
+            violations.append(
+                f"{len(primaries)} live primaries "
+                f"({[agent.host.name for agent in primaries]})"
+            )
+        epochs = sorted({agent.epoch for agent in live})
+        if len(epochs) != 1:
+            violations.append(f"live members disagree on epoch: {epochs}")
+        if ctx["rejoin"]:
+            vectors = [server.state_vector() for server, _ in bed.members]
+            if any(vector != vectors[0] for vector in vectors[1:]):
+                violations.append(
+                    "state vectors diverge across members after rejoin"
+                )
+        return violations
+
+
 SCENARIOS: dict[str, type[Scenario]] = {
     scenario.name: scenario
     for scenario in (
@@ -543,6 +672,7 @@ SCENARIOS: dict[str, type[Scenario]] = {
         CrashDrainScenario,
         ConflictExportScenario,
         DeltaShipScenario,
+        HAFailoverScenario,
     )
 }
 

@@ -100,6 +100,18 @@ class AccessManager:
             "QRPCs that exhausted retransmission",
             labelnames=("host", "op"),
         )
+        self._m_qrpc_failovers = self.obs.registry.counter(
+            "qrpc_failovers_total",
+            "QRPCs redirected to another replica-group member",
+            labelnames=("host",),
+        )
+        #: Replica-set rotations one request may trigger before its
+        #: failure turns terminal (bounds the probe loop when a whole
+        #: replication group is unreachable or has no primary).
+        self.max_failover_rounds = 8
+        #: authority -> requests awaiting one wave-level resubmission
+        #: (flushed together, in log order, after a failover rotation).
+        self._failover_waves: dict[str, list[QRPCRequest]] = {}
         #: request_id -> open root span (tracing enabled only).
         self._root_spans: dict[str, Span] = {}
         #: authority name -> home-server Host
@@ -733,7 +745,10 @@ class AccessManager:
         server = self.servers.get(authority)
         if server is None:
             raise AccessManagerError(f"no home server for authority {authority!r}")
-        return server
+        # A replicated authority is registered as a ReplicaSet (duck
+        # typed: anything with a current_host); a plain Host passes
+        # through untouched.
+        return getattr(server, "current_host", server)
 
     def _log_and_submit(self, request: QRPCRequest, session: Optional[Session]) -> None:
         if self.tracer.enabled:
@@ -892,9 +907,77 @@ class AccessManager:
             operation=str(request.operation),
         )
 
+    def _ha_redirect(
+        self, request: QRPCRequest, session: Optional[Session], reply: Any
+    ) -> bool:
+        """Route around a replica group's non-primary / deposed members.
+
+        Returns True when the reply was a redirect (``not-primary``
+        fence, or a reply stamped with a stale replication epoch — a
+        deposed primary that does not yet know it lost) and the
+        request has been resubmitted toward the group's real primary.
+        Mirrors the need-full path: deliberately no ``acknowledge``,
+        the request stays pending until a current primary answers.
+        """
+        authority = URN.parse(request.urn).authority
+        replica_set = self.servers.get(authority)
+        if replica_set is None or not hasattr(replica_set, "observe_epoch"):
+            return False
+        if not isinstance(reply, dict):
+            return False
+        epoch = reply.get("ha_epoch")
+        fresh = replica_set.observe_epoch(int(epoch)) if epoch is not None else True
+        if reply.get("status") == "not-primary":
+            hinted = reply.get("primary") or ""
+            usable = (
+                bool(hinted)
+                and hinted != reply.get("ha_member")
+                and replica_set.learn_primary(hinted)
+            )
+            self._m_qrpc_failovers.labels(host=self.host.name).inc()
+            if not usable:
+                # No usable hint (fresh backup pointing at itself, or no
+                # primary elected yet): this probe made no progress, so
+                # it spends a failover round and rides the backed-off
+                # wave — during a no-primary window a flat 0.05s bounce
+                # between fencing backups would burn the whole budget
+                # in under a second.
+                request.failover_rounds += 1
+                if request.failover_rounds > self.max_failover_rounds:
+                    self._on_failed(
+                        request, "replica group has no reachable primary"
+                    )
+                    return True
+                # Probe the next member — but only if the shared pointer
+                # still targets the member that fenced *us* (concurrent
+                # requests must not each rotate for the same discovery).
+                replica_set.advance_past(str(reply.get("ha_member", "")))
+                self._messages.pop(request.request_id, None)
+                self._enqueue_failover(authority, request)
+                return True
+        elif not fresh:
+            # Stale epoch: a deposed primary answered.  If we are still
+            # pointed at it, rotating is the only way off of it.
+            if reply.get("ha_member") == replica_set.current_host.name:
+                request.failover_rounds += 1
+                if request.failover_rounds > self.max_failover_rounds:
+                    self._on_failed(
+                        request, "replica group has no reachable primary"
+                    )
+                    return True
+                replica_set.rotate()
+                self._m_qrpc_failovers.labels(host=self.host.name).inc()
+        else:
+            return False
+        self._messages.pop(request.request_id, None)
+        self.sim.schedule(0.05, self._submit, request, session)
+        return True
+
     def _on_reply(self, request: QRPCRequest, session: Optional[Session], reply: Any) -> None:
         if self.log.get(request.request_id) is None:
             return  # duplicate response (at-most-once application)
+        if self._ha_redirect(request, session, reply):
+            return
         if isinstance(reply, dict) and reply.get("status") == "need-full":
             # The server lost our delta base from its history.  The log
             # record still holds the full data, so resend the same
@@ -979,6 +1062,8 @@ class AccessManager:
         self.tracer.finish(root, end=self.sim.now, status=status)
 
     def _on_failed(self, request: QRPCRequest, reason: str) -> None:
+        if self._try_failover(request):
+            return
         self._finish_trace(request, status="failed")
         self._m_qrpc_failed.labels(
             host=self.host.name, op=str(request.operation)
@@ -995,6 +1080,98 @@ class AccessManager:
         self._reject_observers(request, reason)
         for absorbed in self._absorbed.pop(request.request_id, []):
             self._fail_absorbed(absorbed, reason)
+
+    def _try_failover(self, request: QRPCRequest) -> bool:
+        """Retarget a terminally-failed QRPC at the next group member.
+
+        Only applies when the request's authority is a replica set and
+        the per-request rotation budget is not exhausted.  The retry is
+        delayed by the scheduler's own capped jittered backoff so a
+        group-wide outage does not turn into a tight probe loop.
+        """
+        if self._crashed or self.log.get(request.request_id) is None:
+            return False
+        authority = URN.parse(request.urn).authority
+        replica_set = self.servers.get(authority)
+        if replica_set is None or not hasattr(replica_set, "rotate"):
+            return False
+        if request.failover_rounds >= self.max_failover_rounds:
+            return False
+        request.failover_rounds += 1
+        message = self._messages.pop(request.request_id, None)
+        # Rotate only past the member *this* request failed against:
+        # concurrent failures against one dead member must advance the
+        # shared pointer once, not once per request (which, with group
+        # size failures in a wave, cycles straight back to the corpse).
+        failed_host = (
+            message.dst.name if message is not None else
+            getattr(replica_set, "current_host").name
+        )
+        if hasattr(replica_set, "advance_past"):
+            replica_set.advance_past(failed_host)
+        else:
+            replica_set.rotate()
+        self._m_qrpc_failovers.labels(host=self.host.name).inc()
+        opened = self._enqueue_failover(authority, request)
+        if opened:
+            # This member is dead as far as this client is concerned:
+            # pull every sibling request still chasing it out of the
+            # scheduler now, so the whole backlog rides this one wave
+            # in log order instead of straggling in — one jittered
+            # retransmission timeout at a time, in scrambled order —
+            # as later waves.
+            siblings = sorted(
+                (
+                    (rid, msg)
+                    for rid, msg in self._messages.items()
+                    if rid != request.request_id
+                    and msg.dst.name == failed_host
+                ),
+                key=lambda kv: kv[1].seq,
+            )
+            for _rid, sibling in siblings:
+                self.scheduler.evict(sibling, "replica member declared dead")
+        return True
+
+    def _enqueue_failover(self, authority: str, request: QRPCRequest) -> bool:
+        """Add a request to its authority's failover wave.
+
+        Requests exhaust retransmission in jitter-scrambled order, so
+        per-request resubmits would interleave the client's log across
+        the failover.  Collect the wave and flush it once, in log
+        order, after a capped jittered backoff (so a group-wide outage
+        does not turn into a tight probe loop).  Returns True when this
+        call opened the wave.
+        """
+        wave = self._failover_waves.setdefault(authority, [])
+        wave.append(request)
+        if len(wave) > 1:
+            return False
+        delay = min(
+            self.scheduler.max_backoff,
+            self.scheduler.base_backoff * (2 ** (request.failover_rounds - 1)),
+        ) * (0.5 + 0.5 * self.scheduler.rng.random())
+        self.sim.schedule(delay, self._flush_failover_wave, authority)
+        return True
+
+    def _flush_failover_wave(self, authority: str) -> None:
+        """Resubmit a failover wave's requests in client-log order.
+
+        Sessions died with the original submit closures; resubmission
+        re-resolves each destination through the rotated replica set.
+        """
+        wave = self._failover_waves.pop(authority, [])
+        if self._crashed:
+            return
+        order = {
+            pending.request_id: index
+            for index, pending in enumerate(self.log.pending())
+        }
+        wave.sort(key=lambda r: order.get(r.request_id, len(order)))
+        for request in wave:
+            if self.log.get(request.request_id) is None:
+                continue
+            self._submit(request, None)
 
     def _fail_absorbed(self, request: QRPCRequest, reason: str) -> None:
         """The surviving request failed terminally: so did the absorbed."""

@@ -81,6 +81,10 @@ class QRPCRequest:
     #: attributes its spans to the client's trace.
     trace_id: str = ""
     span_id: str = ""
+    #: Volatile failover bookkeeping (repro.ha): how many replica-set
+    #: rotations this request has triggered.  Not part of the wire
+    #: format and not persisted — a recovered client starts fresh.
+    failover_rounds: int = 0
 
     @marshal_stable
     def to_wire(self) -> dict:

@@ -20,15 +20,16 @@ reply on redelivery, so QRPC retransmissions are safe.
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro.core.conflict import ConflictReport, ResolverRegistry
 from repro.core.interpreter import SafeInterpreter
 from repro.core.rdo import RDO, ExecutionCostModel, RDOVerificationError
 from repro.net.simnet import Address
 from repro.lint.contracts import replay_pure
-from repro.net.transport import DelayedReply, Transport
+from repro.net.transport import AsyncReply, DelayedReply, Transport
 from repro.obs import Observatory
 from repro.obs.trace import TRACE_KEY, parse_context
 from repro.sim import Simulator
@@ -142,6 +143,12 @@ class RoverServer:
         self._locks: dict[str, tuple[str, float]] = {}
         self.locks_granted = 0
         self.locks_denied = 0
+        self.locks_expired = 0
+        #: Lease clock override used by :mod:`repro.ha` while applying
+        #: a replicated record: lock grants and expiries must evaluate
+        #: against the *primary's* execution time, not the (later)
+        #: backup apply time, or replicas would diverge on lease edges.
+        self._apply_now: Optional[float] = None
         transport.register("rover.lock", self._on_lock)
         transport.register("rover.unlock", self._on_unlock)
         # Metrics: live views over the plain instance counters above.
@@ -165,6 +172,7 @@ class RoverServer:
             "invalidations_sent",
             "locks_granted",
             "locks_denied",
+            "locks_expired",
             "applied_pruned",
         ):
             gauge.labels(authority=authority, kind=attr).set_function(
@@ -177,6 +185,18 @@ class RoverServer:
         )
         self._m_delta_down = delta_saved.labels(authority=authority, direction="down")
         self._m_delta_up = delta_saved.labels(authority=authority, direction="up")
+        self._m_locks_expired = self.obs.registry.counter(
+            "locks_expired_total",
+            "Lock leases expired server-side (holder never released)",
+            labelnames=("authority",),
+        ).labels(authority=authority)
+
+    # -- lease clock ---------------------------------------------------------
+
+    def now(self) -> float:
+        """The lease clock: sim time, or the replicated record's
+        execution time while :mod:`repro.ha` applies it on a backup."""
+        return self.sim.now if self._apply_now is None else self._apply_now
 
     # -- population ---------------------------------------------------------
 
@@ -244,6 +264,72 @@ class RoverServer:
         }
         self._applied.clear()  # volatile: lost in the crash
         self._locks.clear()    # leases do not survive a restart
+
+    # -- anti-entropy (repro.ha) --------------------------------------------
+
+    def state_vector(self) -> dict[str, list]:
+        """Per-urn ``[version, crc32(data)]`` summary of the store.
+
+        The version-vector half of anti-entropy: two replicas exchange
+        these to find exactly the objects that differ, then transfer
+        only those (:meth:`subset_snapshot` / :meth:`merge_subset`).
+        """
+        from repro.net.message import marshal
+
+        vector: dict[str, list] = {}
+        for urn in sorted(self.store.keys()):
+            value, version = self.store.get(urn)
+            vector[urn] = [version, zlib.crc32(marshal(value)) & 0xFFFFFFFF]
+        return vector
+
+    def subset_snapshot(self, urns: Iterable[str]) -> dict:
+        """Durable state restricted to ``urns`` (anti-entropy transfer)."""
+        from repro.net.message import marshal, unmarshal
+
+        wanted = sorted(set(urns))
+        return unmarshal(
+            marshal(
+                {
+                    "store": {
+                        u: list(self.store.get(u)) for u in wanted if u in self.store
+                    },
+                    "history": {
+                        u: list(self._history[u]) for u in wanted if u in self._history
+                    },
+                    "committed_replies": {
+                        u: list(self._committed_replies[u].items())
+                        for u in wanted
+                        if u in self._committed_replies
+                    },
+                }
+            )
+        )
+
+    def merge_subset(self, subset: dict, deletions: Iterable[str]) -> None:
+        """Adopt a peer's :meth:`subset_snapshot`, dropping ``deletions``.
+
+        Used when a crashed (or deposed) replica rejoins: the primary's
+        copy of every differing object wins wholesale — including its
+        committed-reply index, so at-most-once survives the takeover —
+        and objects the primary no longer holds are deleted.  The
+        volatile applied cache is cleared: it may describe a divergent
+        history that never reached quorum.
+        """
+        merged = self.store.snapshot()
+        for urn in sorted(set(deletions)):
+            merged.pop(urn, None)
+            self._history.pop(urn, None)
+            self._committed_replies.pop(urn, None)
+        for urn, entry in subset.get("store", {}).items():
+            merged[urn] = (entry[0], entry[1])
+        self.store.restore(merged)
+        for urn, entries in subset.get("history", {}).items():
+            self._history[urn] = [(version, data) for version, data in entries]
+        for urn, entries in subset.get("committed_replies", {}).items():
+            self._committed_replies[urn] = OrderedDict(
+                (request_id, reply) for request_id, reply in entries
+            )
+        self._applied.clear()
 
     def get_object(self, urn: str) -> Optional[RDO]:
         wire = self.store.get_value(urn)
@@ -597,6 +683,8 @@ class RoverServer:
         )
         replies = []
         total_delay = 0.0
+        pending = {"n": 0, "sealed": False}
+        batch_reply: Optional[AsyncReply] = None
         for request in body.get("requests", []):
             member_body = request.get("body")
             started_at = self.sim.now + total_delay
@@ -604,6 +692,25 @@ class RoverServer:
                 request.get("service", ""), member_body, source
             )
             delay = 0.0
+            if isinstance(reply_body, AsyncReply):
+                # A member is gated on something external (e.g. the
+                # repro.ha quorum ack); reserve its slot and finish the
+                # batch once every deferred member completes.
+                slot = len(replies)
+                replies.append({"ok": ok, "body": None})
+                pending["n"] += 1
+
+                def collect(completed: Any, slot: int = slot) -> None:
+                    if isinstance(completed, DelayedReply):
+                        completed = completed.body
+                    replies[slot]["body"] = completed
+                    pending["n"] -= 1
+                    if pending["sealed"] and pending["n"] == 0:
+                        assert batch_reply is not None
+                        batch_reply.complete({"replies": replies})
+
+                reply_body.bind(collect)
+                continue
             if isinstance(reply_body, DelayedReply):
                 delay = reply_body.delay_s
                 total_delay += delay
@@ -625,6 +732,18 @@ class RoverServer:
                         batched=True,
                     )
             replies.append({"ok": ok, "body": reply_body})
+        if pending["n"] > 0:
+            batch_reply = AsyncReply()
+            pending["sealed"] = True
+            if total_delay > 0:
+                # Synchronous members still owe compute time: wrap the
+                # eventual batch body so the transport defers the send.
+                outer = AsyncReply()
+                batch_reply.bind(
+                    lambda final: outer.complete(DelayedReply(total_delay, final))
+                )
+                return outer
+            return batch_reply
         result = {"replies": replies}
         if total_delay > 0:
             return DelayedReply(total_delay, result)
@@ -638,10 +757,33 @@ class RoverServer:
         if entry is None:
             return None
         holder, expires = entry
-        if self.sim.now >= expires:
+        if self.now() >= expires:
             del self._locks[urn]
+            self.locks_expired += 1
+            self._m_locks_expired.inc()
             return None
         return holder
+
+    def sweep_expired_locks(self) -> int:
+        """Expire every overdue lease now (lease-clock housekeeping).
+
+        Lazy expiry in :meth:`_lock_holder` only fires when someone
+        touches the object; a crashed holder's lease on an otherwise
+        idle object would linger until then.  The HA agent's heartbeat
+        tick calls this so expiries happen on the lease clock itself.
+        Returns the number of leases expired.
+        """
+        expired = [
+            urn
+            for urn, (_holder, expires) in sorted(self._locks.items())
+            if self.now() >= expires
+        ]
+        for urn in expired:
+            del self._locks[urn]
+        self.locks_expired += len(expired)
+        if expired:
+            self._m_locks_expired.inc(len(expired))
+        return len(expired)
 
     @replay_pure
     def _on_lock(self, body: Any, source: Address) -> Any:
@@ -662,7 +804,7 @@ class RoverServer:
         if holder is not None and holder != session:
             self.locks_denied += 1
             return {"status": "locked", "holder": holder}
-        self._locks[urn] = (session, self.sim.now + lease_s)
+        self._locks[urn] = (session, self.now() + lease_s)
         self.locks_granted += 1
         return {"status": "ok", "expires_in_s": lease_s}
 

@@ -31,6 +31,7 @@ from repro.net.transport import RpcError, Transport
 from repro.obs import Observatory
 from repro.obs.trace import TRACE_KEY, parse_context
 from repro.sim import Simulator
+from repro.sim.rng import make_rng
 
 
 class Priority(IntEnum):
@@ -228,6 +229,12 @@ class NetworkScheduler:
         #: 1 disables batching (the paper's prototype behaviour).
         self.batch_max = batch_max
         self.routes: list[Route] = [DirectRoute(transport, timeout=rpc_timeout)]
+        #: Seeded jitter stream for retransmit backoff: without it,
+        #: every client that lost the same link retries in lockstep and
+        #: the reconnect instant becomes a retransmit storm.
+        self.rng = make_rng(
+            getattr(transport.host.network, "seed", 0), f"sched:{self.host.name}"
+        )
         self._heap: list[tuple[tuple[int, int], QueuedMessage]] = []
         #: Every message not yet in a terminal state (queued, backing
         #: off, or in flight) — the set a crash simulation abandons.
@@ -386,6 +393,28 @@ class NetworkScheduler:
             return False
         message.state = "cancelled"
         self._active.discard(message)
+        return True
+
+    def evict(self, message: QueuedMessage, reason: str) -> bool:
+        """Terminally fail a message now, without waiting out its
+        retransmission budget.
+
+        The failover path uses this when a destination has been
+        declared dead: sibling messages still chasing it should fail
+        as a group, not straggle in one retransmission timeout at a
+        time.  Unlike :meth:`cancel` this fires ``on_failed`` (so the
+        owner can reroute) and also takes messages already in flight —
+        late wire callbacks see a terminal state and are ignored.
+        """
+        if message.state not in ("queued", "inflight", "accepted"):
+            return False
+        if message.state == "inflight":
+            self._inflight -= 1  # its release_slot closure never runs
+        message.state = "done"
+        self._active.discard(message)
+        self._m_failed.inc()
+        message.on_failed(reason)
+        self._pump()
         return True
 
     def reprioritize(self, message: QueuedMessage, priority: Priority) -> bool:
@@ -594,10 +623,7 @@ class NetworkScheduler:
                     message.on_failed(reason)
                 else:
                     message.state = "queued"
-                    backoff = min(
-                        self.max_backoff,
-                        self.base_backoff * (2 ** (message.attempts - 1)),
-                    )
+                    backoff = self._backoff_delay(message.attempts)
                     self._note_retry(message, backoff, reason)
                     self.sim.schedule(backoff, self._requeue, message)
             self._pump()
@@ -638,6 +664,17 @@ class NetworkScheduler:
                 route=route.name,
                 kind=route.kind.name.lower(),
             )
+
+    def _backoff_delay(self, attempts: int) -> float:
+        """Capped exponential backoff with seeded jitter.
+
+        The jitter factor draws from this scheduler's own RNG stream
+        (``sched:<host>``), so retry timing is deterministic per seed
+        yet decorrelated across hosts — reconnecting clients spread
+        their retransmissions instead of firing in lockstep.
+        """
+        ceiling = min(self.max_backoff, self.base_backoff * (2 ** (attempts - 1)))
+        return ceiling * (0.5 + 0.5 * self.rng.random())
 
     def _note_retry(self, message: QueuedMessage, backoff: float, reason: str) -> None:
         """Record the backoff between a failed attempt and its retry."""
@@ -698,10 +735,7 @@ class NetworkScheduler:
                 message.on_failed(reason)
             else:
                 message.state = "queued"
-                backoff = min(
-                    self.max_backoff,
-                    self.base_backoff * (2 ** (message.attempts - 1)),
-                )
+                backoff = self._backoff_delay(message.attempts)
                 self._note_retry(message, backoff, reason)
                 self.sim.schedule(backoff, self._requeue, message)
             self._pump()

@@ -71,6 +71,48 @@ class DelayedReply:
         self.body = body
 
 
+class AsyncReply:
+    """A service handler's way to defer its reply past its own return.
+
+    A handler that cannot answer until some later simulator event (the
+    replication layer waiting for backup acknowledgements) returns an
+    ``AsyncReply``; whoever holds it calls :meth:`complete` when the
+    reply body is finally known.  The carrier that dispatched the
+    request binds a sink to transmit the body; completion and binding
+    may happen in either order.  A reply that is *never* completed is a
+    reply that was never sent — the caller's timeout handles it, which
+    is exactly the semantics a deposed primary needs.
+    """
+
+    __slots__ = ("_sink", "_done", "_body")
+
+    def __init__(self) -> None:
+        self._sink: Optional[Callable[[Any], None]] = None
+        self._done = False
+        self._body: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def complete(self, body: Any) -> None:
+        """Supply the reply body; idempotent (first completion wins)."""
+        if self._done:
+            return
+        self._done = True
+        self._body = body
+        if self._sink is not None:
+            sink, self._sink = self._sink, None
+            sink(body)
+
+    def bind(self, sink: Callable[[Any], None]) -> None:
+        """Attach the transmit path; fires immediately if already done."""
+        if self._done:
+            sink(self._body)
+        else:
+            self._sink = sink
+
+
 class Transport:
     """Per-host object transport.
 
@@ -390,6 +432,55 @@ class Transport:
         ok, reply_body = self.handle_request(
             envelope.get("service", ""), body, source
         )
+        if isinstance(reply_body, AsyncReply):
+            # The handler will answer later (e.g. once replication
+            # reaches quorum); bind the transmit path and return.  The
+            # epoch fence still applies at completion time, so a reply
+            # completed by a dead incarnation is never sent.
+            epoch = self._epoch
+            call_id = envelope.get("id")
+            service = envelope.get("service", "")
+
+            def finish(completed_body: Any) -> None:
+                if epoch != self._epoch:
+                    return  # the incarnation that served this crashed
+                delay_s = 0.0
+                final = completed_body
+                if isinstance(final, DelayedReply):
+                    delay_s = final.delay_s
+                    final = final.body
+                if trace is not None and self.tracer.enabled:
+                    self.tracer.record(
+                        "server.execute",
+                        trace,
+                        start=started,
+                        end=self.sim.now + delay_s,
+                        service=service,
+                        host=self.host.name,
+                        status="ok",
+                    )
+                reply_envelope = {
+                    "kind": "reply",
+                    "id": call_id,
+                    "ok": True,
+                    "body": final,
+                }
+
+                def transmit_async() -> None:
+                    if epoch != self._epoch:
+                        return
+                    try:
+                        self.send(src_host, RPC_PORT, reply_envelope, trace=trace)
+                    except LinkDown:
+                        pass  # lost reply; the caller's timeout recovers
+
+                if delay_s > 0:
+                    self.sim.schedule(delay_s, transmit_async)
+                else:
+                    transmit_async()
+
+            reply_body.bind(finish)
+            return
         delay = 0.0
         if isinstance(reply_body, DelayedReply):
             delay = reply_body.delay_s

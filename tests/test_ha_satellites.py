@@ -1,0 +1,170 @@
+"""Satellite coverage riding the replication PR.
+
+Pins down the smaller contracts the HA work leaned on: server-side
+lock-lease expiry (and its counter), the network scheduler's capped
+jittered backoff, the client-side replica-set bookkeeping, deferred
+transport replies, and the failover counter on the not-primary fence.
+"""
+
+from repro.ha import build_ha_testbed
+from repro.ha.group import ReplicaSet
+from repro.net.link import ETHERNET_10M
+from repro.net.transport import AsyncReply
+from repro.testbed import build_multi_client_testbed
+from tests.conftest import make_note
+
+
+def advance(bed, seconds):
+    """Run the sim strictly past ``now + seconds``."""
+    target = bed.sim.now + seconds
+    bed.sim.schedule(seconds, lambda: None)
+    bed.sim.run_until(lambda: bed.sim.now >= target, timeout=seconds + 60.0)
+
+
+class TestLockLeaseExpiry:
+    def make_two(self):
+        bed = build_multi_client_testbed(2, link_spec=ETHERNET_10M)
+        note = make_note()
+        bed.server.put_object(note)
+        a, b = bed.clients
+        return bed, note, a, b, a.access.create_session("alice"), b.access.create_session("bob")
+
+    def test_sweep_expires_overdue_leases(self):
+        bed, note, a, _b, sa, _sb = self.make_two()
+        grant = a.access.acquire_lock(note.urn, sa, lease_s=10.0).wait(bed.sim)
+        assert grant["status"] == "ok"
+        # Nobody touches the object: only the sweep can expire it.
+        assert bed.server.sweep_expired_locks() == 0
+        advance(bed, 11.0)
+        assert bed.server.sweep_expired_locks() == 1
+        assert bed.server.locks_expired == 1
+        metric = bed.obs.registry.get("locks_expired_total")
+        assert metric.labels(authority="server").value == 1
+
+    def test_expired_lease_frees_the_object(self):
+        bed, note, a, b, sa, sb = self.make_two()
+        a.access.acquire_lock(note.urn, sa, lease_s=5.0).wait(bed.sim)
+        denied = b.access.acquire_lock(note.urn, sb)
+        bed.sim.run()
+        assert denied.failed
+        advance(bed, 6.0)
+        # Lazy path: the next acquire finds the lease overdue and takes
+        # the lock without waiting for any sweep.
+        grant = b.access.acquire_lock(note.urn, sb).wait(bed.sim)
+        assert grant["status"] == "ok"
+        assert bed.server.locks_expired == 1
+
+    def test_live_lease_survives_sweep(self):
+        bed, note, a, _b, sa, _sb = self.make_two()
+        a.access.acquire_lock(note.urn, sa, lease_s=300.0).wait(bed.sim)
+        advance(bed, 10.0)
+        assert bed.server.sweep_expired_locks() == 0
+        assert bed.server.locks_expired == 0
+
+
+class TestSchedulerBackoff:
+    def test_backoff_capped_and_jittered(self):
+        bed = build_multi_client_testbed(1)
+        scheduler = bed.clients[0].scheduler
+        scheduler.base_backoff = 1.0
+        scheduler.max_backoff = 4.0
+        for attempts in range(1, 12):
+            ceiling = min(4.0, 1.0 * (2 ** (attempts - 1)))
+            delay = scheduler._backoff_delay(attempts)
+            assert 0.5 * ceiling <= delay <= ceiling
+
+    def test_backoff_deterministic_per_seed(self):
+        def sample(seed):
+            bed = build_multi_client_testbed(1, seed=seed)
+            scheduler = bed.clients[0].scheduler
+            return [scheduler._backoff_delay(n) for n in range(1, 8)]
+
+        assert sample(7) == sample(7)
+        assert sample(7) != sample(8)
+
+
+class TestReplicaSet:
+    def make_set(self):
+        bed = build_ha_testbed(n_backups=2)
+        return bed.group.make_replica_set()
+
+    def test_learn_primary(self):
+        rs = self.make_set()
+        assert rs.current_host.name == "server"
+        assert rs.learn_primary("server-b1")
+        assert rs.current_host.name == "server-b1"
+        assert not rs.learn_primary("intruder")
+        assert rs.current_host.name == "server-b1"
+
+    def test_rotate_round_robin(self):
+        rs = self.make_set()
+        names = [rs.rotate().name for _ in range(4)]
+        assert names == ["server-b1", "server-b2", "server", "server-b1"]
+        assert rs.rotations == 4
+
+    def test_advance_past_is_compare_and_swap(self):
+        rs = self.make_set()
+        # First failed request moves the pointer off the dead member...
+        assert rs.advance_past("server").name == "server-b1"
+        # ...and the rest of the wave just follows it: no extra rotation.
+        assert rs.advance_past("server").name == "server-b1"
+        assert rs.advance_past("server").name == "server-b1"
+        assert rs.rotations == 1
+
+    def test_observe_epoch_monotone(self):
+        rs = self.make_set()
+        assert rs.observe_epoch(1)
+        assert rs.observe_epoch(1)  # equal is fresh (same reign)
+        assert not rs.observe_epoch(0)
+        assert rs.epoch_seen == 1
+
+    def test_empty_set_rejected(self):
+        try:
+            ReplicaSet([], "server")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestAsyncReply:
+    def test_bind_then_complete(self):
+        sent = []
+        reply = AsyncReply()
+        reply.bind(sent.append)
+        assert not reply.completed
+        reply.complete({"status": "ok"})
+        assert reply.completed
+        assert sent == [{"status": "ok"}]
+
+    def test_complete_then_bind(self):
+        sent = []
+        reply = AsyncReply()
+        reply.complete({"status": "ok"})
+        reply.bind(sent.append)
+        assert sent == [{"status": "ok"}]
+
+    def test_first_completion_wins(self):
+        sent = []
+        reply = AsyncReply()
+        reply.bind(sent.append)
+        reply.complete("first")
+        reply.complete("second")
+        assert sent == ["first"]
+
+
+class TestFailoverCounter:
+    def test_not_primary_fence_counts_a_failover(self):
+        bed = build_ha_testbed(n_backups=2)
+        note = make_note()
+        bed.put_object(note)
+        access = bed.clients[0].access
+        session = access.create_session("alice")
+        # Mispoint the client at a backup: the fence must redirect the
+        # import to the primary and count the redirection.
+        access.servers[bed.authority].learn_primary("server-b1")
+        result = access.import_(note.urn, session=session).wait(bed.sim)
+        assert result.data["text"] == "hello"
+        metric = bed.obs.registry.get("qrpc_failovers_total")
+        assert metric.labels(host="client0").value >= 1
+        assert access.servers[bed.authority].current_host.name == "server"
