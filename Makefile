@@ -1,7 +1,7 @@
 PYTHON ?= python
 CHAOS_SEED ?= 0
 
-.PHONY: install test lint effects bench tables chaos check ha perf fleet demo examples clean
+.PHONY: install test lint effects bench tables chaos check ha perf fleet speed demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -50,6 +50,13 @@ check:
 perf:
 	$(PYTHON) -m pytest -q benchmarks/test_e14_wire.py benchmarks/test_micro_primitives.py --benchmark-only
 	$(PYTHON) scripts/check_e14_regression.py
+
+# CPU hot path: codec/group-commit/kernel suite, determinism digest
+# pins, and the E16 drain-throughput gate at CI scale
+# (docs/PERFORMANCE.md, "The CPU hot path").
+speed:
+	$(PYTHON) -m pytest -q tests/test_speed.py tests/test_determinism.py
+	$(PYTHON) scripts/check_e16_regression.py
 
 # Fleet telemetry: unit/integration suite plus the E15 overhead +
 # exactness gate at CI scale (docs/OBSERVABILITY.md).

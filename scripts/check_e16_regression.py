@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""E16 regression gate: the CPU hot-path wins must not erode.
+
+Re-runs the E16 speed driver at a reduced, deterministic scale (the
+full 10k-client drain is CI-hostile; the per-op costs are
+scale-invariant) and compares against the committed ``BENCH_E16.json``
+baseline:
+
+* every simulation-derived field (ops, appends, flushes, group
+  commits, bytes on wire, drain completion time, codec wire bytes)
+  must match the baseline *exactly* — these are pure functions of the
+  scenario seed, so any drift is a semantic change, not noise;
+* calibration-normalized CPU (drain and codec stages) regressing more
+  than the tolerance fails.  Normalizing by the in-process calibration
+  loop makes the committed numbers transfer across machines — a host
+  that runs the calibration 2x slower is allowed 2x the raw CPU.
+
+Usage:
+    PYTHONPATH=src python scripts/check_e16_regression.py
+    PYTHONPATH=src python scripts/check_e16_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+TOLERANCE = 0.10  # >10% normalized-CPU growth fails
+
+#: Gate scale: covers all four link classes (125 clients each), the
+#: group-commit window, and a kernel compaction, in a few CI seconds.
+GATE_CLIENTS = 500
+
+#: Fields that are pure functions of the scenario — exact match only.
+EXACT_FIELDS = (
+    "clients",
+    "ops_submitted",
+    "ops_acked",
+    "done_at_s",
+    "log_appends",
+    "log_flushes",
+    "group_commits",
+    "fsyncs_saved",
+    "bytes_sent",
+    "messages_sent",
+    "codec_wire_bytes",
+)
+
+#: Calibration-normalized CPU fields, gated at TOLERANCE.
+CPU_FIELDS = (
+    "drain_cpu_x_cal",
+    "encode_cpu_x_cal",
+    "decode_cpu_x_cal",
+    "size_cpu_x_cal",
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_E16.json")
+
+
+def current_row() -> dict:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.bench.experiments import run_e16_speed
+
+    return run_e16_speed(n_clients=GATE_CLIENTS)[0]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the gate row in BENCH_E16.json from the current run",
+    )
+    args = parser.parse_args()
+
+    row = current_row()
+    if args.update:
+        # Preserve the full-scale record; only the gate row is re-measured.
+        doc = {}
+        if os.path.exists(BASELINE_PATH):
+            with open(BASELINE_PATH) as f:
+                doc = json.load(f)
+        doc["gate"] = row
+        with open(BASELINE_PATH, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote gate baseline to {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(f"missing baseline {BASELINE_PATH}; run with --update first",
+              file=sys.stderr)
+        return 2
+    with open(BASELINE_PATH) as f:
+        base = json.load(f)["gate"]
+
+    failures = []
+    for field in EXACT_FIELDS:
+        if row[field] != base[field]:
+            failures.append(
+                f"{field}: {row[field]!r} != baseline {base[field]!r} "
+                "(simulation fields are deterministic — this is a "
+                "semantic change, commit a new baseline deliberately)"
+            )
+    for field in CPU_FIELDS:
+        allowed = base[field] * (1.0 + TOLERANCE)
+        status = "ok"
+        if row[field] > allowed:
+            status = "REGRESSION"
+            failures.append(
+                f"{field}: {row[field]:.2f}x exceeds baseline "
+                f"{base[field]:.2f}x by more than {TOLERANCE:.0%} "
+                f"(allowed {allowed:.2f}x)"
+            )
+        print(f"{field:20s} {row[field]:>10.2f}x "
+              f"(baseline {base[field]:>10.2f}x)  {status}")
+    print(f"{'ops_per_s':20s} {row['ops_per_s']:>10} "
+          f"(baseline {base['ops_per_s']:>10})  info-only")
+
+    if failures:
+        print("\nE16 regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nE16 regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

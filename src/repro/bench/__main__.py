@@ -236,6 +236,19 @@ def _e15() -> str:
     )
 
 
+def _e16() -> str:
+    rows = E.run_e16_speed()
+    return format_table(
+        "E16 - CPU hot path: drain throughput + codec cost",
+        ["clients", "acked", "ops/s", "wall", "cpu x cal", "flushes",
+         "grp commits", "fsyncs saved", "compactions"],
+        [[r["clients"], r["ops_acked"], r["ops_per_s"],
+          fs(r["drain_wall_s"]), f"{r['drain_cpu_x_cal']:.0f}x",
+          r["log_flushes"], r["group_commits"], r["fsyncs_saved"],
+          r["kernel_compactions"]] for r in rows],
+    )
+
+
 def _f1() -> str:
     rows = E.run_f1_size_sweep()
     return format_table(
@@ -283,6 +296,7 @@ EXPERIMENTS = {
     "e13": _e13,
     "e14": _e14,
     "e15": _e15,
+    "e16": _e16,
     "f1": _f1,
     "f2": _f2,
     "f3": _f3,
@@ -303,6 +317,7 @@ RAW = {
     "e13": lambda: E.run_e13_chaos(),
     "e14": lambda: E.run_e14_wire(),
     "e15": lambda: E.run_e15_fleet(),
+    "e16": lambda: E.run_e16_speed(),
     "f1": lambda: E.run_f1_size_sweep(),
     "f2": lambda: E.run_f2_availability(),
     "f3": lambda: E.run_f3_shared_cell(),

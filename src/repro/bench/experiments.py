@@ -1278,3 +1278,62 @@ def run_e15_fleet(
     rows[1]["ab_delta_bytes"] = pair.ab_delta_bytes
     rows[2]["ab_delta_bytes"] = pair.chaos.wire_bytes - pair.clean.wire_bytes
     return rows
+
+
+# ---------------------------------------------------------------------------
+# E16 — CPU hot path: drain throughput and codec cost
+# ---------------------------------------------------------------------------
+
+
+def run_e16_speed(
+    n_clients: int = 10_000,
+    seed: int = 7,
+    rounds: int = 2000,
+) -> list[dict]:
+    """CPU cost of the mixed-link reconnection drain plus the codec.
+
+    One row.  The simulation fields (ops, appends, flushes, group
+    commits, bytes on wire, ``done_at_s``) are pure functions of the
+    scenario and must match the committed baseline *exactly*; the CPU
+    fields are real measurements, reported both raw and as multiples of
+    the in-process calibration loop (see :mod:`repro.speed.measure`) so
+    the committed numbers transfer across machines.
+    """
+    from repro.speed import (
+        SpeedScenario,
+        Stopwatch,
+        calibration_seconds,
+        run_codec_microbench,
+        run_drain,
+    )
+
+    cal = calibration_seconds()
+    micro = run_codec_microbench(rounds)
+    scenario = SpeedScenario(n_clients=n_clients, seed=seed)
+    with Stopwatch() as clock:
+        metrics, _bed = run_drain(scenario)
+    wall = clock.wall_s or 1e-9
+    return [
+        {
+            "clients": n_clients,
+            "ops_submitted": metrics.ops_submitted,
+            "ops_acked": metrics.ops_acked,
+            "done_at_s": metrics.done_at_s,
+            "log_appends": metrics.log_appends,
+            "log_flushes": metrics.log_flushes,
+            "group_commits": metrics.group_commits,
+            "fsyncs_saved": metrics.fsyncs_saved,
+            "bytes_sent": metrics.bytes_sent,
+            "messages_sent": metrics.messages_sent,
+            "kernel_compactions": metrics.kernel_compactions,
+            "codec_wire_bytes": micro["wire_bytes"],
+            "calibration_s": round(cal, 6),
+            "drain_wall_s": round(clock.wall_s, 3),
+            "drain_cpu_s": round(clock.cpu_s, 3),
+            "drain_cpu_x_cal": round(clock.cpu_s / cal, 2) if cal else 0.0,
+            "encode_cpu_x_cal": round(micro["encode_cpu_s"] / cal, 3) if cal else 0.0,
+            "decode_cpu_x_cal": round(micro["decode_cpu_s"] / cal, 3) if cal else 0.0,
+            "size_cpu_x_cal": round(micro["size_cpu_s"] / cal, 3) if cal else 0.0,
+            "ops_per_s": round(metrics.ops_acked / wall),
+        }
+    ]

@@ -46,6 +46,7 @@ from repro.obs.trace import TRACE_KEY, Span
 from repro.perf.compact import CallableRewrite, Compactor
 from repro.perf.delta import DeltaError, apply_delta, diff_value, worth_shipping
 from repro.sim import Simulator
+from repro.storage.stable_log import GroupCommitPolicy
 
 
 class AccessManagerError(Exception):
@@ -67,6 +68,7 @@ class AccessManager:
         step_budget: int = 200_000,
         auth_token: str = "",
         group_commit_s: float = 0.0,
+        group_commit: Optional[GroupCommitPolicy] = None,
         obs: Optional[Observatory] = None,
         incarnation: int = 0,
         compactor: Optional[Compactor] = None,
@@ -127,7 +129,15 @@ class AccessManager:
         #: window, trading a wider crash-loss window for less time on
         #: the critical path (ablated in benchmark E2b).
         self.group_commit_s = group_commit_s
+        #: Adaptive group commit (repro.speed): when set, supersedes
+        #: the fixed window — appends batch behind one flush whose
+        #: deadline stretches under bursts and whose byte/record budget
+        #: forces the flush early (see
+        #: :class:`repro.storage.stable_log.GroupCommitPolicy`).
+        self.group_commit = group_commit
         self._group_flush_timer: Any = None
+        self._gc_window_start = 0.0
+        self._gc_deadline = 0.0
         self._unflushed: list[tuple[QRPCRequest, Optional[Session]]] = []
         #: The disk is a serial resource: concurrent flush requests
         #: queue behind each other (virtual time).
@@ -769,6 +779,12 @@ class AccessManager:
             operation=str(request.operation),
             urn=request.urn,
         )
+        if self.group_commit is not None:
+            self.log.append(request, flush=False)
+            self._unflushed.append((request, session))
+            self._arm_adaptive_flush()
+            self.compact_now()
+            return
         if self.group_commit_s > 0:
             self.log.append(request, flush=False)
             self._unflushed.append((request, session))
@@ -797,6 +813,34 @@ class AccessManager:
                 start=self.sim.now,
                 end=durable_at,
             )
+
+    def _arm_adaptive_flush(self) -> None:
+        """Arm or extend the adaptive group-commit window.
+
+        A full byte/record budget flushes immediately; otherwise the
+        deadline stretches with the burst, capped at ``max_window_s``
+        past the window's first append.
+        """
+        policy = self.group_commit
+        stable = self.log.stable
+        if policy.budget_exceeded(stable.unflushed_bytes, stable.unflushed_records):
+            if self._group_flush_timer is not None:
+                self._group_flush_timer.cancel()
+                self._group_flush_timer = None
+            self._group_flush()
+            return
+        now = self.sim.now
+        if self._group_flush_timer is None:
+            self._gc_window_start = now
+            deadline = policy.next_deadline(now, now)
+            self._group_flush_timer = self.sim.schedule_at(deadline, self._group_flush)
+            self._gc_deadline = deadline
+            return
+        deadline = policy.next_deadline(now, self._gc_window_start)
+        if deadline > self._gc_deadline:
+            self._group_flush_timer.cancel()
+            self._group_flush_timer = self.sim.schedule_at(deadline, self._group_flush)
+            self._gc_deadline = deadline
 
     def _group_flush(self) -> None:
         """One flush covers every append in the group-commit window."""

@@ -112,9 +112,19 @@ def validate_source(source: str) -> ast.Module:
 class SafeInterpreter:
     """Loads validated RDO source and invokes its methods under budget."""
 
+    #: Bound on the per-interpreter compiled-code cache (FIFO evict).
+    CODE_CACHE_MAX = 256
+
     def __init__(self, step_budget: int = 100_000) -> None:
         self.step_budget = step_budget
         self.steps_used = 0
+        # source -> compiled code object.  A server invokes the same
+        # few RDO sources thousands of times (each wire arrival builds
+        # a fresh RDO, so the RDO-level function cache never hits);
+        # parse + whitelist + guard-inject + compile is pure in the
+        # source, so it is cached here.  exec still runs per load —
+        # every caller gets a fresh environment.
+        self._code_cache: dict[str, Any] = {}
 
     def load(self, source: str, extra_env: Optional[dict[str, Any]] = None) -> dict[str, Callable]:
         """Validate, compile, and return the functions the source defines.
@@ -123,10 +133,15 @@ class SafeInterpreter:
         callables) to the code.  All functions returned share one
         step-budget counter per :meth:`invoke` call.
         """
-        tree = validate_source(source)
-        tree = _GuardInjector().visit(tree)
-        ast.fix_missing_locations(tree)
-        code = compile(tree, filename="<rdo>", mode="exec")
+        code = self._code_cache.get(source)
+        if code is None:
+            tree = validate_source(source)
+            tree = _GuardInjector().visit(tree)
+            ast.fix_missing_locations(tree)
+            code = compile(tree, filename="<rdo>", mode="exec")
+            if len(self._code_cache) >= self.CODE_CACHE_MAX:
+                self._code_cache.pop(next(iter(self._code_cache)))
+            self._code_cache[source] = code
 
         counter = {"remaining": 0}
 

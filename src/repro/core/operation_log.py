@@ -93,8 +93,13 @@ class OperationLog:
         return flush_time
 
     def flush(self) -> float:
-        """Force any unflushed appends; returns the flush time."""
-        return self.stable.flush()
+        """Durability barrier; returns the flush time.
+
+        Delegates to :meth:`StableLog.sync`: if a budget-triggered
+        group commit already made everything durable, the barrier is
+        free.
+        """
+        return self.stable.sync()
 
     def acknowledge(self, request_id: str) -> float:
         """Record that the server's response has been processed.

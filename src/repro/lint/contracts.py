@@ -138,6 +138,10 @@ LAYER_CONTRACTS: tuple[LayerContract, ...] = (
 WALLCLOCK_SANCTIONED: tuple[str, ...] = (
     "repro/live/clock.py",
     "repro/live/transport.py",
+    # The speed benchmark measures the real CPU cost of running the
+    # (still fully deterministic) simulation; all its clock reads are
+    # confined to this one module.
+    "repro/speed/measure.py",
 )
 
 #: Files allowed to construct RNGs.  ``repro/sim/rng.py`` derives
@@ -172,6 +176,10 @@ DECLARED_ENTRY_POINTS: dict[str, str] = {
     # output is hashed and diffed across hosts.
     "repro/net/message.py:marshal": "marshal",
     "repro/net/message.py:unmarshal": "marshal",
+    # The non-allocating sizer mirrors marshal()'s walk without
+    # building bytes; it must honor the same iteration-order contract
+    # or its byte counts drift from the real encoding.
+    "repro/net/message.py:marshalled_size": "marshal",
 }
 
 #: Functions whose *declared* effect is accepted as their whole story:

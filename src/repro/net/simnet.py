@@ -44,6 +44,7 @@ class Host:
         self.network = network
         self.name = name
         self.links: list["Link"] = []
+        self._links_by_peer: dict[str, list["Link"]] = {}
         self._ports: dict[int, PortHandler] = {}
 
     def bind(self, port: int, handler: PortHandler) -> None:
@@ -71,8 +72,13 @@ class Host:
             self.bind(port, handler)
 
     def links_to(self, peer: "Host") -> list["Link"]:
-        """All links attached to both this host and ``peer``."""
-        return [link for link in self.links if link.peer_of(self) is peer]
+        """All links attached to both this host and ``peer``.
+
+        Served from a per-peer index kept by ``Network.connect`` — the
+        home server has one link per client, so the old full scan made
+        every server-side send O(clients).
+        """
+        return list(self._links_by_peer.get(peer.name, ()))
 
     def deliver(self, port: int, payload: bytes, source: Address) -> None:
         handler = self._ports.get(port)
@@ -123,14 +129,87 @@ class Delivery:
 
 
 class _Transfer:
-    """An in-flight transfer on one direction of a link."""
+    """An in-flight transfer on one direction of a link.
 
-    __slots__ = ("deliver_event", "fail", "done")
+    Carries everything its completion needs so the transmit path
+    allocates no per-delivery closure: :meth:`complete` is a bound
+    method handed straight to the simulator (repro.speed — closures
+    captured six cells each and dominated allocation on 10k-client
+    drains).
+    """
 
-    def __init__(self, deliver_event: Any, fail: Callable[[str], None]) -> None:
-        self.deliver_event = deliver_event
+    __slots__ = (
+        "link",
+        "receiver",
+        "port",
+        "source",
+        "delivery",
+        "fail",
+        "charge",
+        "deliver_event",
+        "done",
+    )
+
+    def __init__(
+        self,
+        link: "Link",
+        receiver: "Host",
+        port: int,
+        source: Address,
+        delivery: Delivery,
+        fail: Callable[[str], None],
+        charge: bool,
+    ) -> None:
+        self.link = link
+        self.receiver = receiver
+        self.port = port
+        self.source = source
+        self.delivery = delivery
         self.fail = fail
+        self.charge = charge
+        self.deliver_event: Any = None
         self.done = False
+
+    def complete(self) -> None:
+        if self.done:
+            return
+        self.done = True
+        link = self.link
+        link._note_transfer_done()
+        delivery = self.delivery
+        if delivery.fail_reason is not None:
+            link.transfers_failed += 1
+            self.fail(delivery.fail_reason)
+            return
+        if self.charge:
+            link.bytes_carried += link.spec.wire_bytes(len(delivery.payload))
+        self.receiver.deliver(self.port, delivery.payload, self.source)
+
+
+class _FailOnce:
+    """Collapse a send's possibly-duplicated deliveries to one failure report.
+
+    A ``send()`` has one caller-visible outcome; injected duplicates
+    must not fire the failure callback more than once.  (Plain object
+    instead of a closure over a dict — transmit path is allocation
+    sensitive.)
+    """
+
+    __slots__ = ("fail", "reported")
+
+    def __init__(self, fail: Callable[[str], None]) -> None:
+        self.fail = fail
+        self.reported = False
+
+    def __call__(self, reason: str) -> None:
+        if self.reported:
+            return
+        self.reported = True
+        self.fail(reason)
+
+
+def _ignore_failure(reason: str) -> None:
+    return None
 
 
 class Link:
@@ -158,6 +237,7 @@ class Link:
         self.transfers_failed = 0
         self._busy_until = {host_a.name: 0.0, host_b.name: 0.0}
         self._inflight: list[_Transfer] = []
+        self._inflight_done = 0
         self._listeners: list[Callable[["Link", bool], None]] = []
         self._loss_rng = make_rng(network.seed, f"loss:{name}")
         #: Optional chaos hook: an object with
@@ -191,7 +271,10 @@ class Link:
         self._watch_transitions()
 
     def _fail_inflight(self, reason: str) -> int:
+        # Swap the list first and walk it in send order: a failure
+        # callback may issue new sends, which must not be failed too.
         transfers, self._inflight = self._inflight, []
+        self._inflight_done = 0
         failed = 0
         for transfer in transfers:
             if transfer.done:
@@ -202,6 +285,19 @@ class Link:
             failed += 1
             transfer.fail(reason)
         return failed
+
+    def _note_transfer_done(self) -> None:
+        """Amortized, order-preserving cleanup of completed transfers.
+
+        Completion marks the transfer done; the list is compacted only
+        when completed entries pile up (the old per-completion
+        ``list.remove`` was O(n) per delivery).
+        """
+        self._inflight_done += 1
+        done = self._inflight_done
+        if done > 32 and done * 2 > len(self._inflight):
+            self._inflight = [t for t in self._inflight if not t.done]
+            self._inflight_done = 0
 
     def fail_inflight(self, reason: str) -> int:
         """Fail every in-flight transfer (e.g. the peer process crashed).
@@ -259,29 +355,21 @@ class Link:
             self._busy_until[sender.name] = end_of_tx
         arrival = end_of_tx + self.spec.latency_s
 
-        fail = on_failed or (lambda reason: None)
+        fail = on_failed if on_failed is not None else _ignore_failure
         lost = self.spec.loss_rate > 0 and self._loss_rng.random() < self.spec.loss_rate
 
         source: Address = (sender.name, src_port)
 
         planned = Delivery(arrival, payload, "packet loss" if lost else None)
         if self.fault_injector is None:
-            deliveries = [planned]
-        else:
-            # The injector sees the link's own loss outcome and may
-            # rewrite the plan: drop, duplicate, delay, corrupt.
-            deliveries = self.fault_injector.plan(self, planned) or [planned]
+            # Common case: one delivery, no duplicate-collapse shim.
+            self._schedule_delivery(receiver, port, source, planned, fail, charge=True)
+            return arrival
 
-        # A send() has one caller-visible outcome; injected duplicates
-        # must not fire the failure callback more than once.
-        reported = {"failed": False}
-
-        def fail_once(reason: str) -> None:
-            if reported["failed"]:
-                return
-            reported["failed"] = True
-            fail(reason)
-
+        # The injector sees the link's own loss outcome and may
+        # rewrite the plan: drop, duplicate, delay, corrupt.
+        deliveries = self.fault_injector.plan(self, planned) or [planned]
+        fail_once = _FailOnce(fail)
         for index, delivery in enumerate(deliveries):
             # Only the first copy is charged for wire bytes: injected
             # duplicates model network-level replays, not extra sends.
@@ -299,23 +387,8 @@ class Link:
         fail: Callable[[str], None],
         charge: bool,
     ) -> None:
-        transfer = _Transfer(deliver_event=None, fail=fail)
-
-        def complete() -> None:
-            if transfer.done:
-                return
-            transfer.done = True
-            if transfer in self._inflight:
-                self._inflight.remove(transfer)
-            if delivery.fail_reason is not None:
-                self.transfers_failed += 1
-                fail(delivery.fail_reason)
-                return
-            if charge:
-                self.bytes_carried += self.spec.wire_bytes(len(delivery.payload))
-            receiver.deliver(port, delivery.payload, source)
-
-        transfer.deliver_event = self.sim.schedule_at(delivery.time, complete)
+        transfer = _Transfer(self, receiver, port, source, delivery, fail, charge)
+        transfer.deliver_event = self.sim.schedule_at(delivery.time, transfer.complete)
         self._inflight.append(transfer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -369,6 +442,8 @@ class Network:
         self._links[link_name] = link
         host_a.links.append(link)
         host_b.links.append(link)
+        host_a._links_by_peer.setdefault(host_b.name, []).append(link)
+        host_b._links_by_peer.setdefault(host_a.name, []).append(link)
         return link
 
     def link(self, name: str) -> Link:

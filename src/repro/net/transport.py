@@ -195,6 +195,9 @@ class Transport:
 
     @staticmethod
     def _decode_payload(payload: bytes) -> Any:
+        # unseal() hands back a zero-copy view; slicing the marker off
+        # is another view, so the frame is only copied where the
+        # decoder materializes payload bytes into the result.
         payload = unseal(payload)
         marker, body = payload[:1], payload[1:]
         if marker == _COMPRESSED:

@@ -1,0 +1,81 @@
+"""Marshal/unmarshal microbench over representative QRPC envelopes."""
+
+from __future__ import annotations
+
+from repro.net.message import marshal, marshalled_size, seal, unmarshal, unseal
+from repro.speed.measure import Stopwatch
+
+
+def _envelopes() -> list[dict]:
+    """Shapes that dominate real traffic: a small control envelope, a
+    mid-size invoke with a text body, and a large import reply."""
+    return [
+        {
+            "kind": "invoke",
+            "id": "client42:17:0",
+            "urn": "urn:rover:server/obj/42",
+            "args": {"method": "bump", "args": []},
+            "epoch": 3,
+            "seq": 17,
+        },
+        {
+            "kind": "invoke",
+            "id": "client7:4:0",
+            "urn": "urn:rover:server/obj/7",
+            "args": {"method": "echo", "args": [b"\x01\x02" * 1024]},
+            "epoch": 1,
+            "seq": 4,
+        },
+        {
+            "kind": "reply",
+            "id": "client7:4:0",
+            "ok": True,
+            "status": "applied",
+            "body": {
+                "urn": "urn:rover:server/obj/7",
+                "version": 12,
+                "data": {"n": 12, "text": "x" * 4096, "tags": ["a", "b", "c"]},
+            },
+        },
+    ]
+
+
+def run_codec_microbench(rounds: int = 2000) -> dict:
+    """CPU time per codec stage over the representative envelopes.
+
+    Returns per-stage seconds plus ops/sec; ``wire_bytes`` is the
+    deterministic fingerprint (the encoding must not move — the
+    marshal-stable contract, pinned against ``BENCH_E14.json``'s era
+    format by the regression gate).
+    """
+    envelopes = _envelopes()
+    encoded = [marshal(e) for e in envelopes]
+    framed = [seal(raw) for raw in encoded]
+    n_ops = rounds * len(envelopes)
+
+    with Stopwatch() as enc:
+        for _ in range(rounds):
+            for envelope in envelopes:
+                marshal(envelope)
+    with Stopwatch() as dec:
+        for _ in range(rounds):
+            for raw in encoded:
+                unmarshal(raw)
+    with Stopwatch() as frame:
+        for _ in range(rounds):
+            for sealed in framed:
+                unmarshal(unseal(sealed))
+    with Stopwatch() as size:
+        for _ in range(rounds):
+            for envelope in envelopes:
+                marshalled_size(envelope)
+
+    return {
+        "wire_bytes": sum(len(raw) for raw in encoded),
+        "encode_cpu_s": enc.cpu_s,
+        "decode_cpu_s": dec.cpu_s,
+        "unseal_decode_cpu_s": frame.cpu_s,
+        "size_cpu_s": size.cpu_s,
+        "encode_ops_per_s": n_ops / enc.cpu_s if enc.cpu_s else 0.0,
+        "decode_ops_per_s": n_ops / dec.cpu_s if dec.cpu_s else 0.0,
+    }

@@ -25,7 +25,7 @@ from repro.net.transport import Transport
 from repro.obs import Observatory, active_capture
 from repro.perf.compact import Compactor
 from repro.sim import Simulator
-from repro.storage.stable_log import FlushModel, StableLog
+from repro.storage.stable_log import FlushModel, GroupCommitPolicy, StableLog
 
 
 def default_compactor() -> Compactor:
@@ -103,6 +103,7 @@ def build_testbed(
     max_attempts: int = 8,
     compaction: bool = False,
     delta_shipping: bool = False,
+    group_commit: Optional[GroupCommitPolicy] = None,
 ) -> Testbed:
     """Build the canonical client/server testbed.
 
@@ -183,6 +184,7 @@ def build_testbed(
         obs=obs,
         compactor=default_compactor() if compaction else None,
         delta_shipping=delta_shipping,
+        group_commit=group_commit,
     )
     access.watch_new_links()
 
@@ -266,6 +268,7 @@ def build_multi_client_testbed(
     delta_shipping: bool = False,
     per_client_obs: bool = False,
     link_specs: Optional[list[LinkSpec]] = None,
+    group_commit: Optional[GroupCommitPolicy] = None,
 ) -> MultiClientTestbed:
     """Build N clients, each with its own link (and policy) to one server.
 
@@ -322,6 +325,7 @@ def build_multi_client_testbed(
             obs=client_obs,
             compactor=default_compactor() if compaction else None,
             delta_shipping=delta_shipping,
+            group_commit=group_commit,
         )
         access.watch_new_links()
         clients.append(ClientStack(

@@ -17,9 +17,16 @@ from repro.workloads.generators import (
     generate_mail_corpus,
     generate_site,
 )
+from repro.workloads.population import (
+    ClientProfile,
+    CohortSpec,
+    generate_population,
+)
 
 __all__ = [
     "CalendarOp",
+    "ClientProfile",
+    "CohortSpec",
     "MailCorpus",
     "MailMessage",
     "SiteGraph",
@@ -27,5 +34,6 @@ __all__ = [
     "generate_calendar_ops",
     "generate_connectivity_trace",
     "generate_mail_corpus",
+    "generate_population",
     "generate_site",
 ]

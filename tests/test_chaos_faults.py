@@ -155,13 +155,16 @@ def test_reordering_lets_a_later_send_overtake():
 
 def test_cancelled_event_is_removed_from_the_heap():
     sim = Simulator()
-    event = sim.schedule(5.0, lambda: None)
+    payload = b"x" * 1024
+    event = sim.schedule(5.0, (lambda data: None), payload)
     keeper = sim.schedule(1.0, lambda: None)
     event.cancel()
-    assert len(sim._queue) == 1  # only the live event remains
+    # Lazy cancel: the corpse may linger until swept, but it is dead,
+    # invisible to pending(), and holds no reference to its payload.
     assert sim.pending() == 1
+    assert event.args == ()
     sim.run()
-    assert sim._queue == []
+    assert sim.queued() == 0
     assert keeper.cancelled is False
 
 
@@ -174,7 +177,7 @@ def test_drained_simulation_holds_no_dead_timeout_events():
     bed.sim.run()
     # Before the fix, the RPC timeout timer (cancelled on reply) sat
     # in the heap as a dead event until its expiry time.
-    assert bed.sim._queue == []
+    assert bed.sim.queued() == 0
 
 
 # ---------------------------------------------------------------------------

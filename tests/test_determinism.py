@@ -5,13 +5,23 @@ event trace (times *and* contents) must be a pure function of its
 parameters and seed.
 """
 
+import hashlib
+import json
+import os
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.mail import MailServerApp, RoverMailReader
+from repro.chaos.scenario import run_chaos_scenario
 from repro.net.link import CSLIP_14_4, LinkSpec, PeriodicSchedule
 from repro.testbed import build_testbed
 from repro.workloads import generate_mail_corpus
+
+_DIGESTS_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "chaos_trace_digests.json"
+)
 
 
 def run_mail_scenario(seed: int, loss: float = 0.0) -> list[tuple]:
@@ -54,3 +64,25 @@ def test_different_seeds_diverge_under_loss():
 @given(seed=st.integers(0, 50))
 def test_determinism_property(seed):
     assert run_mail_scenario(seed=seed) == run_mail_scenario(seed=seed)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_chaos_trace_digest_is_pinned(seed, tmp_path):
+    """The full chaos scenario's result is bit-for-bit reproducible.
+
+    The digests were pinned before the repro.speed hot-path rewrite
+    (timer-wheel kernel, zero-copy decoder, group commit, link index):
+    an optimization that shifts any event ordering, RNG draw, or wire
+    byte shows up here as a digest change.  If a *deliberate* semantic
+    change moves a digest, regenerate the fixture and say so in the
+    commit.
+    """
+    with open(_DIGESTS_PATH) as f:
+        pinned = json.load(f)
+    result = run_chaos_scenario(
+        seed=seed, faults=True, log_path=str(tmp_path / "log")
+    )
+    digest = hashlib.sha256(
+        json.dumps(result, sort_keys=True).encode()
+    ).hexdigest()
+    assert digest == pinned[str(seed)]
